@@ -1,0 +1,83 @@
+// Ablation: geo-distributed federation — the paper's Sec. VII ongoing work
+// ("expanding to cloud systems spanning different geographic locations"),
+// quantified: three regional CloudMedia stacks with staggered diurnal
+// crowds vs one consolidated deployment of the same global audience.
+//
+// Flags: --hours=24 --warmup=4 --seed=42
+
+#include <cstdio>
+#include <string>
+
+#include "expr/config.h"
+#include "expr/flags.h"
+#include "expr/runner.h"
+#include "geo/federation.h"
+
+using namespace cloudmedia;
+
+int main(int argc, char** argv) {
+  const expr::Flags flags(argc, argv);
+  const double hours = flags.get("hours", 24.0);
+  const double warmup = flags.get("warmup", 4.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
+
+  geo::FederationConfig cfg =
+      geo::FederationConfig::make_default(core::StreamingMode::kP2p);
+  cfg.base.warmup_hours = warmup;
+  cfg.base.measure_hours = hours;
+  cfg.base.seed = seed;
+
+  std::printf("Ablation: geo federation (%zu regions, P2P, %.0f h measured, "
+              "seed %llu)\n\n",
+              cfg.regions.size(), hours,
+              static_cast<unsigned long long>(seed));
+
+  const geo::FederationResult fed = geo::FederationRunner::run(cfg);
+
+  std::printf("%-10s %8s %7s %12s %12s %9s\n", "region", "share", "tz",
+              "mean $/h", "peak $/h", "quality");
+  for (const geo::RegionResult& region : fed.regions) {
+    const util::TimeSeries hourly =
+        region.result.metrics.vm_cost_rate.resample(fed.measure_start, 3600.0);
+    std::printf("%-10s %7.0f%% %+6.0fh %12.2f %12.2f %9.3f\n",
+                region.spec.name.c_str(),
+                100.0 * region.spec.audience_share,
+                region.spec.utc_offset_hours,
+                region.result.mean_vm_cost_rate(), hourly.max_value(),
+                region.result.mean_quality());
+  }
+
+  // Consolidated baseline: the whole audience on one region's clock.
+  expr::ExperimentConfig consolidated = cfg.base;
+  consolidated.seed = seed;
+  const expr::ExperimentResult mono = expr::ExperimentRunner::run(consolidated);
+  const util::TimeSeries mono_hourly =
+      mono.metrics.vm_cost_rate.resample(mono.measure_start, 3600.0);
+
+  std::printf("\n%-28s %12s %12s %14s\n", "", "mean $/h", "peak $/h",
+              "peak-to-mean");
+  std::printf("%-28s %12.2f %12.2f %14.2f\n", "federated (sum of regions)",
+              fed.global_mean_cost(), fed.global_peak_cost(),
+              fed.global_peak_cost() / fed.global_mean_cost());
+  std::printf("%-28s %12.2f %12.2f %14.2f\n", "consolidated (one clock)",
+              mono.mean_vm_cost_rate(), mono_hourly.max_value(),
+              mono_hourly.max_value() / mono.mean_vm_cost_rate());
+
+  std::printf("\nsum of regional peaks %.2f $/h vs federated global peak "
+              "%.2f $/h: multiplexing gain %.2fx\n",
+              fed.sum_of_regional_peaks(), fed.global_peak_cost(),
+              fed.multiplexing_gain());
+  std::printf("worst regional quality %.3f; audience-weighted %.3f\n",
+              fed.min_quality(), fed.weighted_quality());
+  std::printf(
+      "\nreading: regional crowds peak at different reference hours, so the "
+      "federated provider's aggregate bill is flatter (lower peak-to-mean, "
+      "multiplexing gain > 1) than a consolidated deployment whose whole "
+      "audience surges at once — the economics behind the paper's geo "
+      "expansion plan. The flip side is visible in the mean column: "
+      "splitting one audience into three smaller swarms costs more in "
+      "total (smaller channels lose Erlang multiplexing and peer supply "
+      "density, and regional prices carry premiums) — geography buys peak "
+      "flatness and user proximity, not a lower total bill.\n");
+  return 0;
+}

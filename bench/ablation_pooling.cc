@@ -1,0 +1,74 @@
+// Ablation: per-chunk literal vs channel-pooled Erlang sizing.
+//
+// The paper's Sec. IV-B sizes every chunk queue separately with an integer
+// m_i — which reserves at least one whole VM-bandwidth R per active chunk.
+// Its Sec. V-A2 then lets one VM serve several consecutive chunks, i.e. the
+// deployed system pools a channel's VMs. This bench quantifies why that
+// pooling is load-bearing: at the paper's own scale (20 channels × 20
+// chunks) the literal sizing needs 2-3x the bandwidth of the pooled sizing
+// and overflows Table II's 150 VMs outright.
+//
+// Flags: none (pure analysis; runs in milliseconds)
+
+#include <cstdio>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/jackson.h"
+#include "core/params.h"
+#include "util/units.h"
+#include "workload/distributions.h"
+#include "workload/viewing.h"
+
+using namespace cloudmedia;
+
+int main() {
+  const core::VodParameters params;
+  const workload::ViewingBehavior behavior;
+  const util::Matrix transfer = behavior.transfer_matrix(params.chunks_per_video);
+  const std::vector<double> entry =
+      behavior.entry_distribution(params.chunks_per_video);
+
+  const core::CapacityPlanner literal(params,
+                                      core::CapacityModel::kPerChunkLiteral);
+  const core::CapacityPlanner pooled(params,
+                                     core::CapacityModel::kChannelPooled);
+
+  std::printf("Ablation: per-chunk literal vs channel-pooled VM sizing\n\n");
+  std::printf("%14s %16s %16s %12s\n", "channel rate", "literal (VMs)",
+              "pooled (VMs)", "literal/pooled");
+  for (double rate : {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const std::vector<double> lambdas =
+        core::solve_traffic_equations(transfer, entry, rate);
+    const int lit = literal.plan(lambdas).total_servers;
+    const int pool = pooled.plan(lambdas).total_servers;
+    std::printf("%11.3f/s %16d %16d %12.2f\n", rate, lit, pool,
+                static_cast<double>(lit) / pool);
+  }
+
+  // Paper scale: 20 Zipf channels at the default aggregate arrival rate.
+  const std::vector<double> weights = workload::zipf_weights(20, 1.0);
+  const double total_rate = 1.1;
+  int literal_total = 0, pooled_total = 0;
+  for (double w : weights) {
+    const std::vector<double> lambdas =
+        core::solve_traffic_equations(transfer, entry, total_rate * w);
+    literal_total += literal.plan(lambdas).total_servers;
+    pooled_total += pooled.plan(lambdas).total_servers;
+  }
+  std::printf("\npaper scale (20 Zipf channels, %.1f users/s aggregate):\n",
+              total_rate);
+  std::printf("  literal sizing : %4d VMs = %6.0f Mbps\n", literal_total,
+              util::to_mbps(params.vm_bandwidth) * literal_total);
+  std::printf("  pooled sizing  : %4d VMs = %6.0f Mbps\n", pooled_total,
+              util::to_mbps(params.vm_bandwidth) * pooled_total);
+  std::printf("  Table II total : 150 VMs = 1500 Mbps\n");
+  std::printf("  => literal sizing %s Table II's capacity; pooled fits. The\n"
+              "     paper's Fig. 4 reserved curve (~1-2.2 Gbps) is only\n"
+              "     reachable with pooling — see DESIGN.md.\n",
+              literal_total > 150 ? "OVERFLOWS" : "fits");
+  std::printf("\nnote: both models target the same per-queue sojourn bound\n"
+              "E[n] <= lambda*T0; pooling wins by statistical multiplexing —\n"
+              "one Erlang headroom per channel instead of per chunk.\n");
+  return 0;
+}

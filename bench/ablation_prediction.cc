@@ -1,0 +1,123 @@
+// Ablation: arrival-rate predictors — the paper's future work ("more
+// accurate prediction method based on historical data collected over more
+// intervals", Sec. V-B) implemented in src/predict and measured two ways:
+//
+//   1. analytically: one-step forecast accuracy on the true diurnal
+//      per-channel rates of the paper workload (no simulation noise);
+//   2. end-to-end: full simulations where the controller runs each
+//      forecaster, reporting reserved bandwidth, quality, and cost.
+//
+// Flags: --days=4 --hours=30 --warmup=4 --seed=42 --e2e=true
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/config.h"
+#include "expr/flags.h"
+#include "expr/runner.h"
+#include "predict/accuracy.h"
+#include "predict/forecaster.h"
+#include "workload/scenario.h"
+
+using namespace cloudmedia;
+
+namespace {
+
+predict::ForecasterSpec spec_of(predict::ForecasterKind kind) {
+  predict::ForecasterSpec spec;
+  spec.kind = kind;
+  spec.period = 24;  // hourly cadence, daily season
+  return spec;
+}
+
+/// True mean rate of `channel` over one hour (1-minute resolution).
+double true_hourly_rate(const workload::Workload& workload, int channel,
+                        double t0) {
+  double acc = 0.0;
+  for (int m = 0; m < 60; ++m) {
+    acc += workload.channel_rate(channel, t0 + 60.0 * m);
+  }
+  return acc / 60.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const expr::Flags flags(argc, argv);
+  const int days = flags.get("days", 4);
+  const double hours = flags.get("hours", 30.0);
+  const double warmup = flags.get("warmup", 4.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
+  const bool e2e = flags.get("e2e", true);
+
+  // --- part 1: forecast accuracy on the true rates ------------------------
+  const expr::ExperimentConfig base =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  const workload::Workload workload(base.workload, seed);
+
+  std::printf("Part 1: one-step accuracy on true per-channel hourly rates "
+              "(%d day(s), %d channels)\n",
+              days, workload.num_channels());
+  std::printf("%-16s %10s %10s %10s %10s %9s\n", "forecaster",
+              "MAE(/s)", "RMSE(/s)", "MAPE", "bias(/s)", "under-%");
+
+  for (const predict::ForecasterKind kind : predict::all_forecaster_kinds()) {
+    predict::ForecastScore score;
+    for (int c = 0; c < workload.num_channels(); ++c) {
+      const auto f = predict::make_forecaster(spec_of(kind));
+      for (int h = 0; h < 24 * days; ++h) {
+        const double actual = true_hourly_rate(workload, c, 3600.0 * h);
+        if (h >= 24) score.add(f->forecast(), actual);  // skip day-1 warmup
+        f->observe(actual);
+      }
+    }
+    std::printf("%-16s %10.4f %10.4f %9.1f%% %+10.4f %8.1f%%\n",
+                predict::to_string(kind).c_str(), score.mae(), score.rmse(),
+                100.0 * score.mape(), score.bias(),
+                100.0 * score.under_fraction());
+  }
+  std::printf("\nreading: on a repeating diurnal signal the seasonal "
+              "forecasters should cut MAE well below persistence (the "
+              "paper's predictor), which trails every ramp by one hour.\n");
+
+  if (!e2e) return 0;
+
+  // --- part 2: end-to-end simulations -------------------------------------
+  const std::vector<predict::ForecasterKind> kinds = {
+      predict::ForecasterKind::kPersistence,
+      predict::ForecasterKind::kMovingAverage,
+      predict::ForecasterKind::kHolt,
+      predict::ForecasterKind::kSeasonalEwma,
+      predict::ForecasterKind::kHoltWinters,
+  };
+
+  std::printf("\nPart 2: end-to-end provisioning (client-server, %.0f h "
+              "measured, seed %llu)\n",
+              hours, static_cast<unsigned long long>(seed));
+  std::printf("%-16s %10s %10s %9s %9s %10s\n", "forecaster", "reserved",
+              "used", "quality", "$/h", "covered");
+
+  for (const predict::ForecasterKind kind : kinds) {
+    expr::ExperimentConfig cfg =
+        expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+    cfg.strategy = expr::Strategy::kForecast;
+    cfg.forecaster = spec_of(kind);
+    cfg.warmup_hours = warmup;
+    cfg.measure_hours = hours;
+    cfg.seed = seed;
+    const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+    std::printf("%-16s %10.1f %10.1f %9.3f %9.2f %10.3f\n",
+                predict::to_string(kind).c_str(), r.mean_reserved_mbps(),
+                r.mean_used_cloud_mbps(), r.mean_quality(),
+                r.mean_vm_cost_rate(), r.reserved_covers_used_fraction());
+  }
+
+  std::printf(
+      "\nreading: all forecasters keep quality high (the Erlang sizing "
+      "carries headroom); the differences show up in reserved bandwidth "
+      "and cost — better predictors under-provision less during the "
+      "flash-crowd ramps and over-provision less after them.\n");
+  return 0;
+}

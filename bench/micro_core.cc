@@ -1,0 +1,193 @@
+// Microbenchmarks (google-benchmark) for the algorithms on the controller's
+// hourly critical path: Erlang sizing, traffic equations, Proposition-1
+// availability, Eqn.-(5) supply, both Sec.-V heuristics + instance packing,
+// the processor-sharing pool, and a full controller planning cycle at
+// paper scale (20 channels x 20 chunks).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/controller.h"
+#include "core/erlang.h"
+#include "core/jackson.h"
+#include "core/p2p.h"
+#include "sim/simulator.h"
+#include "vod/service_pool.h"
+#include "workload/viewing.h"
+
+using namespace cloudmedia;
+
+namespace {
+
+const core::VodParameters kParams;
+
+util::Matrix paper_transfer() {
+  return workload::ViewingBehavior{}.transfer_matrix(kParams.chunks_per_video);
+}
+
+std::vector<double> paper_lambdas(double rate) {
+  const workload::ViewingBehavior behavior;
+  return core::solve_traffic_equations(
+      paper_transfer(), behavior.entry_distribution(kParams.chunks_per_video),
+      rate);
+}
+
+void BM_ErlangC(benchmark::State& state) {
+  const double a = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::erlang_c(state.range(0) + 2, a));
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MinServers(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0)) / 100.0;
+  const double mu = kParams.service_rate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::min_servers(lambda, mu, lambda * kParams.chunk_duration));
+  }
+}
+BENCHMARK(BM_MinServers)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_TrafficEquations(benchmark::State& state) {
+  const util::Matrix transfer = paper_transfer();
+  const std::vector<double> entry =
+      workload::ViewingBehavior{}.entry_distribution(kParams.chunks_per_video);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_traffic_equations(transfer, entry, 0.2));
+  }
+}
+BENCHMARK(BM_TrafficEquations);
+
+void BM_ChunkAvailability(benchmark::State& state) {
+  const util::Matrix transfer = paper_transfer();
+  std::vector<double> population(kParams.chunks_per_video, 12.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_chunk_availability(transfer, population));
+  }
+}
+BENCHMARK(BM_ChunkAvailability);
+
+void BM_P2pSupply(benchmark::State& state) {
+  const util::Matrix transfer = paper_transfer();
+  const std::vector<double> lambdas = paper_lambdas(0.2);
+  const core::ChannelCapacityPlan capacity =
+      core::CapacityPlanner(kParams, core::CapacityModel::kChannelPooled)
+          .plan(lambdas);
+  std::vector<double> population(lambdas.size());
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    population[i] = lambdas[i] * kParams.chunk_duration;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_p2p_supply(
+        transfer, capacity, population, 50'000.0, kParams.streaming_rate));
+  }
+}
+BENCHMARK(BM_P2pSupply);
+
+core::TrackerReport paper_report(int channels) {
+  const workload::ViewingBehavior behavior;
+  core::TrackerReport report;
+  report.interval_length = 3600.0;
+  for (int c = 0; c < channels; ++c) {
+    core::ChannelObservation obs;
+    obs.arrival_rate = 0.3 / (c + 1);
+    obs.transfer = behavior.transfer_matrix(kParams.chunks_per_video);
+    obs.entry = behavior.entry_distribution(kParams.chunks_per_video);
+    obs.occupancy.assign(kParams.chunks_per_video, 5.0);
+    obs.served_cloud_bandwidth.assign(kParams.chunks_per_video, 1e6);
+    obs.mean_peer_uplink = 50'000.0;
+    report.channels.push_back(std::move(obs));
+  }
+  return report;
+}
+
+void BM_StorageGreedy400Chunks(benchmark::State& state) {
+  core::StorageProblem p;
+  p.clusters = core::paper_nfs_clusters();
+  p.chunk_bytes = kParams.chunk_bytes();
+  p.budget_per_hour = 1.0;
+  for (int c = 0; c < 20; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      p.chunks.push_back({{c, i}, 1e6 / (c + 1)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_storage_greedy(p));
+  }
+}
+BENCHMARK(BM_StorageGreedy400Chunks);
+
+void BM_VmGreedy400Chunks(benchmark::State& state) {
+  core::VmProblem p;
+  p.clusters = core::paper_vm_clusters();
+  p.vm_bandwidth = kParams.vm_bandwidth;
+  p.budget_per_hour = 100.0;
+  for (int c = 0; c < 20; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      p.chunks.push_back({{c, i}, 3e5 / (c + 1)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_vm_greedy(p));
+  }
+}
+BENCHMARK(BM_VmGreedy400Chunks);
+
+void BM_PackInstances(benchmark::State& state) {
+  core::VmProblem p;
+  p.clusters = core::paper_vm_clusters();
+  p.vm_bandwidth = kParams.vm_bandwidth;
+  p.budget_per_hour = 100.0;
+  for (int c = 0; c < 20; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      p.chunks.push_back({{c, i}, 3e5 / (c + 1)});
+    }
+  }
+  const core::VmAllocation allocation = core::solve_vm_greedy(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pack_instances(p, allocation));
+  }
+}
+BENCHMARK(BM_PackInstances);
+
+void BM_ControllerFullPlan(benchmark::State& state) {
+  core::DemandEstimatorConfig est;
+  est.mode = core::StreamingMode::kP2p;
+  core::Controller controller(
+      kParams,
+      core::ControllerConfig{core::paper_vm_clusters(),
+                             core::paper_nfs_clusters(), 100.0, 1.0},
+      std::make_unique<core::ModelBasedPolicy>(kParams, est));
+  const core::TrackerReport report = paper_report(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.plan(report));
+  }
+}
+BENCHMARK(BM_ControllerFullPlan)->Unit(benchmark::kMillisecond);
+
+void BM_ServicePoolChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long completions = 0;
+    vod::ServicePool pool(sim, 1'250'000.0,
+                          [&](const vod::ServicePool::Completion&) {
+                            ++completions;
+                          });
+    pool.set_capacity(5e6, 5e6);
+    for (int i = 0; i < 200; ++i) {
+      pool.add_job(15e6, static_cast<std::uint64_t>(i));
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(completions);
+  }
+}
+BENCHMARK(BM_ServicePoolChurn)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

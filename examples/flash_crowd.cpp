@@ -1,0 +1,56 @@
+// Flash crowd: watch the dynamic provisioning loop chase a demand spike.
+//
+// Builds a single-peak workload (a 3x flash crowd in the early evening),
+// runs the P2P CloudMedia system across it, and prints an hour-by-hour
+// log of demand vs provisioned capacity vs quality — the paper's core
+// claim ("cloud resources provisioned based on the predicted equilibrium
+// demand serve the actual demand quite well, even at times of flash
+// crowds", Sec. VI-B) in one terminal screen.
+//
+// Run: ./build/examples/example_flash_crowd [--seed=42]
+
+#include <cstdio>
+
+#include "expr/config.h"
+#include "expr/flags.h"
+#include "expr/runner.h"
+
+using namespace cloudmedia;
+
+int main(int argc, char** argv) {
+  const expr::Flags flags(argc, argv);
+
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
+  // One sharp flash crowd at hour 18, tripling the baseline arrival rate.
+  cfg.workload.diurnal = workload::DiurnalPattern(0.8, {{18.0, 2.4, 1.0}});
+  cfg.warmup_hours = 4.0;
+  cfg.measure_hours = 24.0;
+  cfg.seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
+
+  std::printf("Flash crowd demo: P2P CloudMedia, 3x arrival spike at hour 18\n");
+  const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+
+  std::printf("\n%6s %10s %12s %12s %12s %10s %9s\n", "hour", "users",
+              "reserved", "cloud used", "peer used", "cost $/h", "quality");
+  for (double t = r.measure_start; t + 3600.0 <= r.measure_end; t += 3600.0) {
+    std::printf("%6.0f %10.0f %9.1f Mb %9.1f Mb %9.1f Mb %10.2f %9.3f\n",
+                (t - r.measure_start) / 3600.0,
+                r.metrics.concurrent_users.mean_over(t, t + 3600.0),
+                r.metrics.reserved_mbps.mean_over(t, t + 3600.0),
+                r.metrics.used_cloud_mbps.mean_over(t, t + 3600.0),
+                r.metrics.used_peer_mbps.mean_over(t, t + 3600.0),
+                r.metrics.vm_cost_rate.mean_over(t, t + 3600.0),
+                r.metrics.quality.mean_over(t, t + 3600.0));
+  }
+
+  std::printf("\npeak users %.0f, overall quality %.3f, VM bill $%.2f total; "
+              "reserved covered used %.0f%% of the time.\n",
+              r.metrics.concurrent_users.max_value(), r.mean_quality(),
+              r.vm_cost_total, 100.0 * r.reserved_covers_used_fraction());
+  std::printf("The hour after the spike shows the 1-hour prediction lag the "
+              "paper accepts for simplicity (Sec. V-B): capacity follows "
+              "demand one interval behind, while the occupancy floor and "
+              "peer upload absorb the transient.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "cloud/billing.h"
+
+#include "util/check.h"
+
+namespace cloudmedia::cloud {
+
+void CostMeter::set_rate(const std::string& category, double dollars_per_hour) {
+  CM_EXPECTS(dollars_per_hour >= 0.0);
+  Account& account = accounts_[category];
+  account.accrued = accrued_to_now(account);
+  account.last_change = sim_->now();
+  account.rate = dollars_per_hour;
+  account.series.add(sim_->now(), dollars_per_hour);
+}
+
+double CostMeter::accrued_to_now(const Account& account) const {
+  const double hours = (sim_->now() - account.last_change) / 3600.0;
+  return account.accrued + account.rate * hours;
+}
+
+double CostMeter::current_rate(const std::string& category) const {
+  const auto it = accounts_.find(category);
+  return it == accounts_.end() ? 0.0 : it->second.rate;
+}
+
+double CostMeter::total(const std::string& category) const {
+  const auto it = accounts_.find(category);
+  return it == accounts_.end() ? 0.0 : accrued_to_now(it->second);
+}
+
+double CostMeter::grand_total() const {
+  double total = 0.0;
+  for (const auto& [name, account] : accounts_) total += accrued_to_now(account);
+  return total;
+}
+
+const util::TimeSeries& CostMeter::rate_series(const std::string& category) const {
+  static const util::TimeSeries kEmpty;
+  const auto it = accounts_.find(category);
+  return it == accounts_.end() ? kEmpty : it->second.series;
+}
+
+}  // namespace cloudmedia::cloud

@@ -1,0 +1,74 @@
+#include "cloud/broker.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cloudmedia::cloud {
+
+SlaNegotiator::SlaNegotiator(SlaTerms terms) : terms_(std::move(terms)) {
+  CM_EXPECTS(!terms_.vm_clusters.empty());
+  CM_EXPECTS(!terms_.nfs_clusters.empty());
+}
+
+bool SlaNegotiator::admit(const core::ProvisioningPlan& plan,
+                          std::string* reason) const {
+  // Fractional VM-hours must respect the negotiated budget; packing whole
+  // instances rounds each cluster's share up at most once, which the SLA
+  // tolerates up to one instance per cluster.
+  double rounding_allowance = 0.0;
+  for (const core::VmClusterSpec& c : terms_.vm_clusters) {
+    rounding_allowance += c.price_per_hour;
+  }
+  if (plan.vm.cost_per_hour > terms_.vm_budget_per_hour + 1e-9) {
+    if (reason) *reason = "vm budget exceeded";
+    return false;
+  }
+  if (plan.vm_cost_rate >
+      terms_.vm_budget_per_hour + rounding_allowance + 1e-9) {
+    if (reason) *reason = "vm instance bill exceeds budget allowance";
+    return false;
+  }
+  if (plan.storage_cost_rate > terms_.storage_budget_per_hour + 1e-9) {
+    if (reason) *reason = "storage budget exceeded";
+    return false;
+  }
+  for (std::size_t v = 0; v < plan.instances.per_cluster_count.size(); ++v) {
+    if (v >= terms_.vm_clusters.size() ||
+        plan.instances.per_cluster_count[v] > terms_.vm_clusters[v].max_vms) {
+      if (reason) *reason = "virtual cluster capacity exceeded";
+      return false;
+    }
+  }
+  if (reason) reason->clear();
+  return true;
+}
+
+void VmMonitor::on_scale(std::size_t cluster, int delta) {
+  CM_EXPECTS(cluster < boots_.size());
+  if (delta > 0) {
+    boots_[cluster] += delta;
+  } else {
+    shutdowns_[cluster] += -delta;
+  }
+}
+
+long VmMonitor::boots(std::size_t cluster) const {
+  CM_EXPECTS(cluster < boots_.size());
+  return boots_[cluster];
+}
+
+long VmMonitor::shutdowns(std::size_t cluster) const {
+  CM_EXPECTS(cluster < shutdowns_.size());
+  return shutdowns_[cluster];
+}
+
+long VmMonitor::total_boots() const {
+  return std::accumulate(boots_.begin(), boots_.end(), 0L);
+}
+
+long VmMonitor::total_shutdowns() const {
+  return std::accumulate(shutdowns_.begin(), shutdowns_.end(), 0L);
+}
+
+}  // namespace cloudmedia::cloud

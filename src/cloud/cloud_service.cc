@@ -1,0 +1,42 @@
+#include "cloud/cloud_service.h"
+
+namespace cloudmedia::cloud {
+
+CloudService::CloudService(sim::Simulator& simulator, CloudConfig config)
+    : sim_(&simulator),
+      sla_(config.sla),
+      vm_scheduler_(simulator, config.sla.vm_clusters, config.vm),
+      nfs_scheduler_(config.sla.nfs_clusters),
+      vm_monitor_(config.sla.vm_clusters.size()),
+      billing_(simulator) {}
+
+bool CloudService::submit_plan(const core::ProvisioningPlan& plan,
+                               int num_channels, int chunks_per_video) {
+  RequestMonitor::Entry entry;
+  entry.time = sim_->now();
+  entry.vm_cost_rate = plan.vm_cost_rate;
+  entry.storage_cost_rate = plan.storage_cost_rate;
+  entry.reserved_bandwidth = plan.reserved_bandwidth;
+
+  std::string reason;
+  entry.admitted = sla_.admit(plan, &reason);
+  entry.reason = reason;
+  request_monitor_.record(entry);
+  if (!entry.admitted) return false;
+
+  // Record instance churn before the schedulers mutate state.
+  for (std::size_t v = 0; v < plan.instances.per_cluster_count.size(); ++v) {
+    const int delta =
+        plan.instances.per_cluster_count[v] - vm_scheduler_.billed_instances(v);
+    if (delta != 0) vm_monitor_.on_scale(v, delta);
+  }
+
+  vm_scheduler_.apply(plan.vm_problem, plan.instances, num_channels,
+                      chunks_per_video);
+  nfs_scheduler_.apply(plan.storage_problem, plan.storage);
+  billing_.set_rate("vm", vm_scheduler_.cost_rate());
+  billing_.set_rate("storage", nfs_scheduler_.cost_rate());
+  return true;
+}
+
+}  // namespace cloudmedia::cloud

@@ -1,0 +1,101 @@
+#include "cloud/entry_point.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudmedia::cloud {
+
+void EntryPointConfig::validate() const {
+  CM_EXPECTS(!address.empty());
+  CM_EXPECTS(!ports.empty());
+  CM_EXPECTS(ports_per_referral >= 1);
+  CM_EXPECTS(static_cast<std::size_t>(ports_per_referral) <= ports.size());
+  for (int port : ports) CM_EXPECTS(port > 0 && port < 65536);
+  CM_EXPECTS(ticket_lifetime > 0.0);
+  CM_EXPECTS(max_outstanding >= 1);
+}
+
+std::string to_string(TicketStatus status) {
+  switch (status) {
+    case TicketStatus::kValid: return "valid";
+    case TicketStatus::kUnknown: return "unknown";
+    case TicketStatus::kExpired: return "expired";
+    case TicketStatus::kAlreadyRedeemed: return "already-redeemed";
+  }
+  return "?";
+}
+
+EntryPoint::EntryPoint(EntryPointConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+CloudReferral EntryPoint::issue(double now) {
+  sweep(now);
+  if (book_.size() >= config_.max_outstanding) {
+    // Evict an arbitrary ticket: the book is full of un-redeemed referrals
+    // and refusing to issue would lock new peers out entirely.
+    book_.erase(book_.begin());
+  }
+
+  CloudReferral referral;
+  referral.entry_address = config_.address;
+  referral.ports.reserve(static_cast<std::size_t>(config_.ports_per_referral));
+  for (int k = 0; k < config_.ports_per_referral; ++k) {
+    referral.ports.push_back(config_.ports[next_port_]);
+    next_port_ = (next_port_ + 1) % config_.ports.size();
+  }
+  // Tickets are opaque to peers: a mixed counter is unguessable enough for
+  // the model while staying deterministic for tests.
+  referral.ticket = util::mix64(next_ticket_++);
+  book_.emplace(referral.ticket, now);
+  ++issued_;
+  return referral;
+}
+
+TicketStatus EntryPoint::redeem(std::uint64_t ticket, double now) {
+  const auto it = book_.find(ticket);
+  if (it == book_.end()) {
+    ++refused_;
+    // Forged, evicted, or double-spent — the entry point cannot tell a
+    // replay from a forgery once the ticket left the book.
+    return TicketStatus::kUnknown;
+  }
+  if (now - it->second > config_.ticket_lifetime) {
+    book_.erase(it);
+    ++refused_;
+    return TicketStatus::kExpired;
+  }
+  book_.erase(it);
+  ++redeemed_;
+  return TicketStatus::kValid;
+}
+
+void EntryPoint::map_port(int external_port, int vm_id) {
+  CM_EXPECTS(std::find(config_.ports.begin(), config_.ports.end(),
+                       external_port) != config_.ports.end());
+  forwarding_[external_port] = vm_id;
+}
+
+void EntryPoint::unmap_port(int external_port) {
+  forwarding_.erase(external_port);
+}
+
+std::optional<int> EntryPoint::forward(int external_port) const {
+  const auto it = forwarding_.find(external_port);
+  if (it == forwarding_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EntryPoint::sweep(double now) {
+  for (auto it = book_.begin(); it != book_.end();) {
+    if (now - it->second > config_.ticket_lifetime) {
+      it = book_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cloudmedia::cloud

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudmedia::cloud {
+
+/// The tracker's referral to the cloud (Sec. V-B): "If there is insufficient
+/// peer supply, the tracking server will return a 3-tuple, i.e., <IP address
+/// of a cloud entry point, a list of port numbers, a ticket> to the peer."
+struct CloudReferral {
+  std::string entry_address;
+  std::vector<int> ports;
+  std::uint64_t ticket = 0;
+};
+
+struct EntryPointConfig {
+  std::string address = "cloud.example.net";
+  /// Port pool handed out round-robin with each referral.
+  std::vector<int> ports = {9000, 9001, 9002, 9003};
+  int ports_per_referral = 2;
+  /// Tickets expire this long after issue; an expired ticket is refused
+  /// and the peer must go back to the tracker.
+  double ticket_lifetime = 300.0;
+  /// Issued-ticket book size; oldest tickets are evicted beyond this (a
+  /// peer holding an evicted ticket is indistinguishable from one holding
+  /// a forged ticket and is likewise refused).
+  std::size_t max_outstanding = 1 << 20;
+
+  void validate() const;
+};
+
+/// Why a ticket was refused (for the request log and tests).
+enum class TicketStatus { kValid, kUnknown, kExpired, kAlreadyRedeemed };
+
+[[nodiscard]] std::string to_string(TicketStatus status);
+
+/// Public access point of the cloud (Sec. V-B): issues tickets to the
+/// tracker, verifies them when peers connect, and forwards verified
+/// requests to a VM via the port-forwarding table. This models the
+/// admission path only — actual bandwidth accounting lives in the service
+/// pools; what matters here is that un-ticketed requests never reach VMs.
+class EntryPoint {
+ public:
+  explicit EntryPoint(EntryPointConfig config);
+
+  /// Tracker side: mint a referral for a peer (`now` = issue time).
+  [[nodiscard]] CloudReferral issue(double now);
+
+  /// Peer side: redeem a ticket at connection time. A ticket is single-use
+  /// (one streaming session per referral); the verdict is recorded.
+  TicketStatus redeem(std::uint64_t ticket, double now);
+
+  /// Port-forwarding table (Sec. V-B: "the requests will be forwarded to
+  /// the VMs in the cloud ... using the port-forwarding technique").
+  /// Maps an external port to a VM id; unmapped ports refuse connections.
+  void map_port(int external_port, int vm_id);
+  void unmap_port(int external_port);
+  [[nodiscard]] std::optional<int> forward(int external_port) const;
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] std::size_t outstanding() const noexcept { return book_.size(); }
+  [[nodiscard]] long issued() const noexcept { return issued_; }
+  [[nodiscard]] long redeemed() const noexcept { return redeemed_; }
+  [[nodiscard]] long refused() const noexcept { return refused_; }
+  [[nodiscard]] const EntryPointConfig& config() const noexcept { return config_; }
+
+  /// Drop expired tickets from the book (bounded memory under churn; also
+  /// called internally on issue()).
+  void sweep(double now);
+
+ private:
+  EntryPointConfig config_;
+  std::unordered_map<std::uint64_t, double> book_;  ///< ticket → issue time
+  std::unordered_map<int, int> forwarding_;         ///< port → VM id
+  std::uint64_t next_ticket_ = 1;
+  std::size_t next_port_ = 0;
+  long issued_ = 0;
+  long redeemed_ = 0;
+  long refused_ = 0;
+};
+
+}  // namespace cloudmedia::cloud

@@ -1,0 +1,52 @@
+#include "cloud/nfs_scheduler.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudmedia::cloud {
+
+NfsScheduler::NfsScheduler(std::vector<core::NfsClusterSpec> clusters)
+    : clusters_(std::move(clusters)), chunk_counts_(clusters_.size(), 0) {
+  CM_EXPECTS(!clusters_.empty());
+  for (const core::NfsClusterSpec& c : clusters_) c.validate();
+}
+
+void NfsScheduler::apply(const core::StorageProblem& problem,
+                         const core::StorageAssignment& assignment) {
+  CM_EXPECTS(problem.clusters.size() == clusters_.size());
+  CM_EXPECTS(assignment.cluster_of.size() == problem.chunks.size());
+
+  std::vector<int> counts(clusters_.size(), 0);
+  for (int f : assignment.cluster_of) {
+    if (f < 0) continue;  // unplaced (infeasible plans): nothing stored
+    CM_EXPECTS(static_cast<std::size_t>(f) < clusters_.size());
+    ++counts[static_cast<std::size_t>(f)];
+  }
+  for (std::size_t f = 0; f < clusters_.size(); ++f) {
+    CM_ENSURES(static_cast<double>(counts[f]) * problem.chunk_bytes <=
+               clusters_[f].capacity_bytes + 1e-6);
+  }
+  chunk_counts_ = std::move(counts);
+  chunk_bytes_ = problem.chunk_bytes;
+}
+
+double NfsScheduler::used_bytes(std::size_t cluster) const {
+  CM_EXPECTS(cluster < clusters_.size());
+  return static_cast<double>(chunk_counts_[cluster]) * chunk_bytes_;
+}
+
+int NfsScheduler::stored_chunks(std::size_t cluster) const {
+  CM_EXPECTS(cluster < clusters_.size());
+  return chunk_counts_[cluster];
+}
+
+double NfsScheduler::cost_rate() const {
+  double rate = 0.0;
+  for (std::size_t f = 0; f < clusters_.size(); ++f) {
+    rate += used_bytes(f) * clusters_[f].price_per_byte_hour();
+  }
+  return rate;
+}
+
+}  // namespace cloudmedia::cloud

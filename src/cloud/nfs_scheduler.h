@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "core/storage_rental.h"
+
+namespace cloudmedia::cloud {
+
+/// The cloud-side NFS scheduler (Fig. 1): carries out chunk placement onto
+/// the NFS clusters per the consumer's storage-rental solution and meters
+/// the per-GB-hour storage charge.
+class NfsScheduler {
+ public:
+  explicit NfsScheduler(std::vector<core::NfsClusterSpec> clusters);
+
+  /// Apply a placement. Throws if it violates any cluster capacity.
+  void apply(const core::StorageProblem& problem,
+             const core::StorageAssignment& assignment);
+
+  [[nodiscard]] double used_bytes(std::size_t cluster) const;
+  [[nodiscard]] int stored_chunks(std::size_t cluster) const;
+  /// $/h for the current placement.
+  [[nodiscard]] double cost_rate() const;
+  [[nodiscard]] std::size_t num_clusters() const noexcept { return clusters_.size(); }
+
+ private:
+  std::vector<core::NfsClusterSpec> clusters_;
+  std::vector<int> chunk_counts_;
+  double chunk_bytes_ = 0.0;
+};
+
+}  // namespace cloudmedia::cloud

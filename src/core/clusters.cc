@@ -1,0 +1,20 @@
+#include "core/clusters.h"
+
+namespace cloudmedia::core {
+
+std::vector<VmClusterSpec> paper_vm_clusters() {
+  return {
+      {"standard", 0.6, 0.450, 75},
+      {"medium", 0.8, 0.700, 30},
+      {"advanced", 1.0, 0.800, 45},
+  };
+}
+
+std::vector<NfsClusterSpec> paper_nfs_clusters() {
+  return {
+      {"standard", 0.8, 1.11e-4, 20e9},
+      {"high", 1.0, 2.08e-4, 20e9},
+  };
+}
+
+}  // namespace cloudmedia::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudmedia::core {
+
+/// One virtual (VM) cluster of the IaaS cloud (Sec. III-A / Table II):
+/// VMs of one configuration level, with a performance factor ũ_v, a rental
+/// price p̃_v per VM-hour, and at most N_v concurrently provisioned VMs.
+struct VmClusterSpec {
+  std::string name;
+  double utility = 1.0;          ///< ũ_v
+  double price_per_hour = 0.0;   ///< p̃_v, $/VM/hour
+  int max_vms = 0;               ///< N_v
+
+  void validate() const {
+    CM_EXPECTS(utility > 0.0);
+    CM_EXPECTS(price_per_hour > 0.0);
+    CM_EXPECTS(max_vms >= 0);
+  }
+};
+
+/// One NFS storage cluster (Sec. III-A / Table III).
+struct NfsClusterSpec {
+  std::string name;
+  double utility = 1.0;              ///< u_f
+  double price_per_gb_hour = 0.0;    ///< p_f, $/GB/hour
+  double capacity_bytes = 0.0;       ///< S_f
+
+  [[nodiscard]] double price_per_byte_hour() const noexcept {
+    return price_per_gb_hour / 1e9;
+  }
+
+  void validate() const {
+    CM_EXPECTS(utility > 0.0);
+    CM_EXPECTS(price_per_gb_hour > 0.0);
+    CM_EXPECTS(capacity_bytes >= 0.0);
+  }
+};
+
+/// Table II of the paper: Standard / Medium / Advanced virtual clusters.
+[[nodiscard]] std::vector<VmClusterSpec> paper_vm_clusters();
+
+/// Table III of the paper: Standard / High NFS clusters (20 GB each).
+[[nodiscard]] std::vector<NfsClusterSpec> paper_nfs_clusters();
+
+}  // namespace cloudmedia::core

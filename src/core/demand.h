@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/p2p.h"
+#include "core/params.h"
+#include "util/matrix.h"
+
+namespace cloudmedia::core {
+
+/// Deployment mode of the VoD application (Sec. III-B).
+enum class StreamingMode { kClientServer, kP2p };
+
+/// What the tracking server measured for one channel during the last
+/// provisioning interval (Sec. V-B: "the tracking server summarizes the
+/// average user arrival rate Λ(c) ... as well as the viewing patterns
+/// P(c)ij ... and sends these statistics to the controller").
+struct ChannelObservation {
+  double arrival_rate = 0.0;            ///< Λ̂, users/s
+  util::Matrix transfer;                ///< P̂, J×J empirical transfer matrix
+  std::vector<double> entry;            ///< empirical entry distribution
+  std::vector<double> occupancy;        ///< current users per chunk queue
+  std::vector<double> served_cloud_bandwidth;  ///< bytes/s, mean over interval
+  double mean_peer_uplink = 0.0;        ///< û, bytes/s
+};
+
+/// The controller's per-channel output: the Sec.-IV pipeline end to end.
+struct ChannelDemandEstimate {
+  std::vector<double> arrival_rates;  ///< λ_i from the traffic equations
+  ChannelCapacityPlan capacity;       ///< m_i, s_i = R·m_i
+  std::vector<double> peer_supply;    ///< Γ_i (all zero in client–server)
+  std::vector<double> cloud_demand;   ///< Δ_i = s_i − Γ_i (clamped at 0)
+  double total_cloud_demand = 0.0;    ///< Σ Δ_i, bytes/s
+};
+
+struct DemandEstimatorConfig {
+  StreamingMode mode = StreamingMode::kClientServer;
+  CapacityModel capacity_model = CapacityModel::kChannelPooled;
+  /// Also size demand on current queue occupancy (λ_i >= n_i / T0): keeps
+  /// channels with lingering viewers but no fresh arrivals provisioned.
+  /// See DESIGN.md; ablated in bench/ablation_strategies.
+  bool occupancy_floor = true;
+  /// How Eqn. (5) caps peer supply per chunk (see core/p2p.h).
+  P2pOptions p2p;
+};
+
+/// Sec. IV end-to-end for one channel: traffic equations → Erlang sizing →
+/// (P2P only) peer-supply subtraction.
+class DemandEstimator {
+ public:
+  DemandEstimator(VodParameters params, DemandEstimatorConfig config);
+
+  [[nodiscard]] ChannelDemandEstimate estimate(
+      const ChannelObservation& observation) const;
+
+  [[nodiscard]] const VodParameters& params() const noexcept { return params_; }
+  [[nodiscard]] const DemandEstimatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  VodParameters params_;
+  DemandEstimatorConfig config_;
+  CapacityPlanner planner_;
+};
+
+}  // namespace cloudmedia::core

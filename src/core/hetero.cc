@@ -1,0 +1,132 @@
+#include "core/hetero.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cloudmedia::core {
+
+void PeerClass::validate() const {
+  CM_EXPECTS(!name.empty());
+  CM_EXPECTS(upload >= 0.0);
+  CM_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+}
+
+void validate_peer_classes(const std::vector<PeerClass>& classes) {
+  CM_EXPECTS(!classes.empty());
+  double total = 0.0;
+  for (const PeerClass& c : classes) {
+    c.validate();
+    total += c.fraction;
+  }
+  CM_EXPECTS(std::abs(total - 1.0) < 1e-9);
+}
+
+double mean_upload(const std::vector<PeerClass>& classes) {
+  validate_peer_classes(classes);
+  double mean = 0.0;
+  for (const PeerClass& c : classes) mean += c.fraction * c.upload;
+  return mean;
+}
+
+std::vector<PeerClass> classes_from_quantiles(
+    const std::function<double(double)>& quantile, int num_classes,
+    int resolution) {
+  CM_EXPECTS(quantile != nullptr);
+  CM_EXPECTS(num_classes >= 1);
+  CM_EXPECTS(resolution >= 1);
+
+  std::vector<PeerClass> classes;
+  classes.reserve(static_cast<std::size_t>(num_classes));
+  const double bin = 1.0 / num_classes;
+  for (int g = 0; g < num_classes; ++g) {
+    // Conditional mean over the bin via midpoint sampling (exact enough for
+    // provisioning; the overall mean is preserved to the same resolution).
+    double acc = 0.0;
+    for (int s = 0; s < resolution; ++s) {
+      const double u = (g + (s + 0.5) / resolution) * bin;
+      const double value = quantile(u);
+      CM_ENSURES(value >= 0.0);
+      acc += value;
+    }
+    classes.push_back(PeerClass{"q" + std::to_string(g + 1),
+                                acc / resolution, bin});
+  }
+  return classes;
+}
+
+HeteroP2pSupply solve_hetero_p2p_supply(const util::Matrix& transfer,
+                                        const ChannelCapacityPlan& capacity,
+                                        const std::vector<double>& population,
+                                        const std::vector<PeerClass>& classes,
+                                        double streaming_rate,
+                                        const P2pOptions& options) {
+  validate_peer_classes(classes);
+  CM_EXPECTS(streaming_rate > 0.0);
+  const std::size_t j = transfer.rows();
+  const std::size_t g_count = classes.size();
+  CM_EXPECTS(capacity.chunks.size() == j);
+
+  HeteroP2pSupply out;
+  out.availability = solve_chunk_availability(transfer, population);
+  out.peer_supply.assign(j, 0.0);
+  out.cloud_residual.assign(j, 0.0);
+  out.class_supply = util::Matrix(g_count, j);
+
+  out.rarest_order.resize(j);
+  std::iota(out.rarest_order.begin(), out.rarest_order.end(), std::size_t{0});
+  std::stable_sort(out.rarest_order.begin(), out.rarest_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return out.availability.owners[a] <
+                            out.availability.owners[b];
+                   });
+
+  const double total_population =
+      std::accumulate(population.begin(), population.end(), 0.0);
+
+  // Per-class running pledges, Σ of class g's Γ contributions so far.
+  std::vector<double> pledged(g_count, 0.0);
+
+  for (std::size_t k = 0; k < j; ++k) {
+    const std::size_t chunk = out.rarest_order[k];
+    const double nu_k = out.availability.owners[chunk];
+    if (nu_k <= 0.0 || total_population <= 0.0) continue;
+
+    const double demand_cap =
+        options.demand_cap == P2pDemandCap::kStreamingRateLiteral
+            ? capacity.chunks[chunk].servers * streaming_rate
+            : capacity.chunks[chunk].bandwidth;
+
+    // Remaining upload each class can still offer for this chunk: f_g·ν_k
+    // owners, each with headroom u_g − (class pledges per class member).
+    std::vector<double> avail(g_count, 0.0);
+    double total_avail = 0.0;
+    for (std::size_t g = 0; g < g_count; ++g) {
+      const double members = classes[g].fraction * total_population;
+      const double pledged_per_peer =
+          members > 0.0 ? pledged[g] / members : 0.0;
+      avail[g] = classes[g].fraction * nu_k *
+                 std::max(0.0, classes[g].upload - pledged_per_peer);
+      total_avail += avail[g];
+    }
+    if (total_avail <= 0.0) continue;
+
+    const double gamma = std::min(demand_cap, total_avail);
+    out.peer_supply[chunk] = gamma;
+    for (std::size_t g = 0; g < g_count; ++g) {
+      const double share = gamma * avail[g] / total_avail;
+      out.class_supply(g, chunk) = share;
+      pledged[g] += share;
+    }
+  }
+
+  for (std::size_t i = 0; i < j; ++i) {
+    out.cloud_residual[i] =
+        std::max(0.0, capacity.chunks[i].bandwidth - out.peer_supply[i]);
+  }
+  return out;
+}
+
+}  // namespace cloudmedia::core

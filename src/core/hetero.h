@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/p2p.h"
+#include "util/matrix.h"
+
+namespace cloudmedia::core {
+
+/// One class of peers sharing an upload capacity (DSL / cable / fiber…).
+/// The paper's Sec. IV-C analysis assumes one homogeneous upload u and
+/// notes it "can be readily extended to cases with heterogeneous
+/// bandwidths"; this module is that extension.
+struct PeerClass {
+  std::string name;
+  double upload = 0.0;    ///< u_g, bytes/s
+  double fraction = 0.0;  ///< population share; fractions must sum to 1
+
+  void validate() const;
+};
+
+/// Validate a class mix (each class valid, fractions sum to 1).
+void validate_peer_classes(const std::vector<PeerClass>& classes);
+
+/// Population-weighted mean upload Σ_g f_g u_g — the homogeneous u that a
+/// mean-field reduction of the mix would use.
+[[nodiscard]] double mean_upload(const std::vector<PeerClass>& classes);
+
+/// Build `num_classes` equal-population classes from an upload-capacity
+/// quantile function (inverse CDF on [0,1)). Class g's upload is the
+/// conditional mean of the distribution over its quantile bin (numeric,
+/// `resolution` samples per bin), so the class mix preserves the
+/// distribution's overall mean. Use with BoundedPareto::quantile to
+/// discretize the paper's Pareto uplinks.
+[[nodiscard]] std::vector<PeerClass> classes_from_quantiles(
+    const std::function<double(double)>& quantile, int num_classes,
+    int resolution = 64);
+
+/// Eqn. (5) generalized to a class mix.
+struct HeteroP2pSupply {
+  ChunkAvailability availability;
+  std::vector<std::size_t> rarest_order;  ///< chunk indices, rarest first
+  std::vector<double> peer_supply;        ///< Γ_i totals, bytes/s
+  util::Matrix class_supply;              ///< [class][chunk] contribution
+  std::vector<double> cloud_residual;     ///< Δ_i = max(0, s_i − Γ_i)
+};
+
+/// Heterogeneous rarest-first waterfall.
+///
+/// Class membership is independent of a peer's position in the channel, so
+/// chunk i has f_g · ν_i expected class-g owners. Serving proceeds rarest
+/// first as in Eqn. (5); within one chunk, demand is split across classes
+/// in proportion to their *remaining* capacity (every owner pledges the
+/// same fraction of its headroom — the natural generalization of the
+/// paper's equal-share assumption, and exactly equal to it when all
+/// classes have the same upload; a test asserts that degeneracy).
+[[nodiscard]] HeteroP2pSupply solve_hetero_p2p_supply(
+    const util::Matrix& transfer, const ChannelCapacityPlan& capacity,
+    const std::vector<double>& population,
+    const std::vector<PeerClass>& classes, double streaming_rate,
+    const P2pOptions& options = {});
+
+}  // namespace cloudmedia::core

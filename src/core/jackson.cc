@@ -1,0 +1,60 @@
+#include "core/jackson.h"
+
+#include "util/check.h"
+
+namespace cloudmedia::core {
+
+void validate_transfer_matrix(const util::Matrix& transfer) {
+  CM_EXPECTS(transfer.rows() == transfer.cols());
+  CM_EXPECTS(transfer.rows() >= 1);
+  for (std::size_t i = 0; i < transfer.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < transfer.cols(); ++j) {
+      CM_EXPECTS(transfer(i, j) >= 0.0);
+      row += transfer(i, j);
+    }
+    CM_EXPECTS(row <= 1.0 + 1e-9);
+  }
+}
+
+std::vector<double> solve_traffic_equations(const util::Matrix& transfer,
+                                            const std::vector<double>& entry,
+                                            double external_rate) {
+  validate_transfer_matrix(transfer);
+  CM_EXPECTS(entry.size() == transfer.rows());
+  CM_EXPECTS(external_rate >= 0.0);
+  double entry_sum = 0.0;
+  for (double e : entry) {
+    CM_EXPECTS(e >= 0.0);
+    entry_sum += e;
+  }
+  CM_EXPECTS(entry_sum <= 1.0 + 1e-9);
+
+  const std::size_t n = transfer.rows();
+  util::Matrix a = util::Matrix::identity(n);
+  a -= transfer.transpose();
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = external_rate * entry[i];
+  std::vector<double> lambdas = util::solve_linear_system(std::move(a), std::move(b));
+  for (double& l : lambdas) {
+    // Guard against -0 / tiny negative round-off; genuine negatives would
+    // mean the transfer matrix was not sub-stochastic.
+    CM_ENSURES(l > -1e-9);
+    if (l < 0.0) l = 0.0;
+  }
+  return lambdas;
+}
+
+double departure_flow(const util::Matrix& transfer,
+                      const std::vector<double>& lambdas) {
+  CM_EXPECTS(lambdas.size() == transfer.rows());
+  double flow = 0.0;
+  for (std::size_t i = 0; i < transfer.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < transfer.cols(); ++j) row += transfer(i, j);
+    flow += lambdas[i] * (1.0 - row);
+  }
+  return flow;
+}
+
+}  // namespace cloudmedia::core

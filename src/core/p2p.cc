@@ -1,0 +1,116 @@
+#include "core/p2p.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/jackson.h"
+#include "util/check.h"
+
+namespace cloudmedia::core {
+
+ChunkAvailability solve_chunk_availability(const util::Matrix& transfer,
+                                           const std::vector<double>& population) {
+  validate_transfer_matrix(transfer);
+  const std::size_t j = transfer.rows();
+  CM_EXPECTS(population.size() == j);
+  for (double n : population) CM_EXPECTS(n >= 0.0);
+  const std::vector<double>& expected_in_queue = population;
+
+  ChunkAvailability out{util::Matrix(j, j), std::vector<double>(j, 0.0)};
+
+  if (j == 1) {
+    // A single chunk has no other queues to hold suppliers in.
+    out.nu(0, 0) = expected_in_queue[0];
+    return out;
+  }
+
+  for (std::size_t i = 0; i < j; ++i) {
+    // Unknowns x_q = ν_{i, cols[q]} for the J-1 queues other than i:
+    //   x_q = Σ_l ν_{i,l} P_{l,cols[q]}
+    //       = ν_{i,i} P_{i,cols[q]} + Σ_p x_p P_{cols[p],cols[q]}
+    // i.e. (I − P̃ᵀ) x = E[n_i] · P_{i,·restricted}, with P̃ the transfer
+    // matrix restricted to the non-i queues.
+    std::vector<std::size_t> cols;
+    cols.reserve(j - 1);
+    for (std::size_t q = 0; q < j; ++q)
+      if (q != i) cols.push_back(q);
+
+    util::Matrix a(j - 1, j - 1);
+    std::vector<double> b(j - 1, 0.0);
+    for (std::size_t q = 0; q < j - 1; ++q) {
+      for (std::size_t p = 0; p < j - 1; ++p) {
+        a(q, p) = (p == q ? 1.0 : 0.0) - transfer(cols[p], cols[q]);
+      }
+      b[q] = expected_in_queue[i] * transfer(i, cols[q]);
+    }
+    const std::vector<double> x = util::solve_linear_system(std::move(a), std::move(b));
+
+    out.nu(i, i) = expected_in_queue[i];
+    double total = 0.0;
+    for (std::size_t q = 0; q < j - 1; ++q) {
+      const double v = std::max(0.0, x[q]);  // clamp round-off
+      out.nu(i, cols[q]) = v;
+      total += v;
+    }
+    out.owners[i] = total;
+  }
+  return out;
+}
+
+P2pSupply solve_p2p_supply(const util::Matrix& transfer,
+                           const ChannelCapacityPlan& capacity,
+                           const std::vector<double>& population,
+                           double peer_upload_mean, double streaming_rate,
+                           const P2pOptions& options) {
+  CM_EXPECTS(peer_upload_mean >= 0.0);
+  CM_EXPECTS(streaming_rate > 0.0);
+  const std::size_t j = transfer.rows();
+  CM_EXPECTS(capacity.chunks.size() == j);
+  const std::vector<double>& en = population;
+
+  P2pSupply out;
+  out.availability = solve_chunk_availability(transfer, en);
+  out.peer_supply.assign(j, 0.0);
+  out.cloud_residual.assign(j, 0.0);
+
+  // Rarest first: ascending expected owner count (Sec. IV-C), index
+  // tie-break for determinism.
+  out.rarest_order.resize(j);
+  std::iota(out.rarest_order.begin(), out.rarest_order.end(), std::size_t{0});
+  std::stable_sort(out.rarest_order.begin(), out.rarest_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return out.availability.owners[a] < out.availability.owners[b];
+                   });
+
+  const double total_population = std::accumulate(en.begin(), en.end(), 0.0);
+
+  // Eqn. (5) with the independence form of Ψ: a peer's expected upload
+  // already pledged to rarer chunks is (Σ_{served so far} Γ)/N, so chunk
+  // π_k can draw at most ν_{π_k} · (u − pledged_per_peer).
+  double pledged_total = 0.0;
+  for (std::size_t k = 0; k < j; ++k) {
+    const std::size_t chunk = out.rarest_order[k];
+    const double nu_k = out.availability.owners[chunk];
+    double gamma = 0.0;
+    if (nu_k > 0.0 && total_population > 0.0) {
+      const double demand_cap =
+          options.demand_cap == P2pDemandCap::kStreamingRateLiteral
+              ? capacity.chunks[chunk].servers * streaming_rate
+              : capacity.chunks[chunk].bandwidth;
+      const double pledged_per_peer = pledged_total / total_population;
+      const double available =
+          nu_k * std::max(0.0, peer_upload_mean - pledged_per_peer);
+      gamma = std::clamp(std::min(demand_cap, available), 0.0, available);
+    }
+    out.peer_supply[chunk] = gamma;
+    pledged_total += gamma;
+  }
+
+  for (std::size_t i = 0; i < j; ++i) {
+    out.cloud_residual[i] =
+        std::max(0.0, capacity.chunks[i].bandwidth - out.peer_supply[i]);
+  }
+  return out;
+}
+
+}  // namespace cloudmedia::core

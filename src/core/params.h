@@ -1,0 +1,38 @@
+#pragma once
+
+#include "util/check.h"
+
+namespace cloudmedia::core {
+
+/// The VoD application model of Sec. III-B, with the paper's experimental
+/// values as defaults (Sec. VI-A): streaming rate r = 50 KB/s (400 kbps),
+/// chunk playback time T0 = 5 min (so chunks are rT0 = 15 MB), J = 20
+/// chunks per 100-minute video, and per-VM bandwidth R = 10 Mbps.
+struct VodParameters {
+  double streaming_rate = 50'000.0;    ///< r, bytes/s
+  double chunk_duration = 300.0;       ///< T0, seconds
+  int chunks_per_video = 20;           ///< J
+  double vm_bandwidth = 1'250'000.0;   ///< R, bytes/s (10 Mbps); must be > r
+
+  /// Chunk size rT0 in bytes (15 MB with paper defaults).
+  [[nodiscard]] double chunk_bytes() const noexcept {
+    return streaming_rate * chunk_duration;
+  }
+
+  /// Queueing service rate µ of one VM-server: R = µ · rT0 (Sec. IV-A),
+  /// i.e. µ = R / (rT0) chunk-downloads per second.
+  [[nodiscard]] double service_rate() const noexcept {
+    return vm_bandwidth / chunk_bytes();
+  }
+
+  void validate() const {
+    CM_EXPECTS(streaming_rate > 0.0);
+    CM_EXPECTS(chunk_duration > 0.0);
+    CM_EXPECTS(chunks_per_video >= 1);
+    // R > r is required for feasibility: retrieval of a T0-chunk must be
+    // able to finish within T0 (Sec. III-C).
+    CM_EXPECTS(vm_bandwidth > streaming_rate);
+  }
+};
+
+}  // namespace cloudmedia::core

@@ -1,0 +1,53 @@
+#include "expr/flags.h"
+
+#include <stdexcept>
+
+namespace cloudmedia::expr {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+int Flags::get(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+long long Flags::get_ll(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+bool Flags::get(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace cloudmedia::expr

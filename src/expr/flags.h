@@ -1,0 +1,27 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cloudmedia::expr {
+
+/// Tiny command-line flag parser for the bench/example binaries:
+/// accepts `--key=value` and `--key value`; bare `--key` means "true".
+/// Unknown positional arguments throw (benches take no positionals).
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] int get(const std::string& key, int fallback) const;
+  [[nodiscard]] long long get_ll(const std::string& key, long long fallback) const;
+  [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cloudmedia::expr

@@ -1,0 +1,64 @@
+#include "expr/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace cloudmedia::expr {
+
+std::string results_dir() {
+  const std::string dir = "results";
+  util::ensure_directory(dir);
+  return dir;
+}
+
+void print_series_table(const std::string& title,
+                        const std::vector<SeriesColumn>& columns, double t0,
+                        double t_end, double bucket_seconds,
+                        const std::string& csv_name) {
+  CM_EXPECTS(!columns.empty());
+  CM_EXPECTS(bucket_seconds > 0.0);
+  CM_EXPECTS(t_end > t0);
+
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%10s", "hour");
+  for (const SeriesColumn& col : columns) std::printf("  %18s", col.name.c_str());
+  std::printf("\n");
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_name.empty()) {
+    csv = std::make_unique<util::CsvWriter>(results_dir() + "/" + csv_name +
+                                            ".csv");
+    std::vector<std::string> header{"hour"};
+    for (const SeriesColumn& col : columns) header.push_back(col.name);
+    csv->write_header(header);
+  }
+
+  const int buckets =
+      static_cast<int>(std::ceil((t_end - t0) / bucket_seconds));
+  for (int b = 0; b < buckets; ++b) {
+    const double w0 = t0 + b * bucket_seconds;
+    const double w1 = std::min(t_end, w0 + bucket_seconds);
+    std::printf("%10.1f", (w0 - t0) / 3600.0);
+    std::vector<double> row{(w0 - t0) / 3600.0};
+    for (const SeriesColumn& col : columns) {
+      const double v = col.series ? col.series->mean_over(w0, w1) : 0.0;
+      std::printf("  %18.3f", v);
+      row.push_back(v);
+    }
+    std::printf("\n");
+    if (csv) csv->write_row(row);
+  }
+  if (csv) std::printf("[csv] %s/%s.csv\n", results_dir().c_str(), csv_name.c_str());
+}
+
+void print_paper_comparison(const std::string& label, double measured,
+                            double paper_value, const std::string& unit) {
+  std::printf("%-46s measured %10.3f %-6s | paper %10.3f %-6s\n", label.c_str(),
+              measured, unit.c_str(), paper_value, unit.c_str());
+}
+
+}  // namespace cloudmedia::expr

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace cloudmedia::expr {
+
+/// One named series to print/export, e.g. "C/S reserved (Mbps)".
+struct SeriesColumn {
+  std::string name;
+  const util::TimeSeries* series = nullptr;
+};
+
+/// Print aligned hourly (or any-width) rows of several series to stdout —
+/// the textual equivalent of a paper figure — and optionally mirror them
+/// to `results/<csv_name>.csv`. Series are resampled into `bucket_seconds`
+/// windows starting at `t0`; the time column is printed in hours since t0.
+void print_series_table(const std::string& title,
+                        const std::vector<SeriesColumn>& columns, double t0,
+                        double t_end, double bucket_seconds,
+                        const std::string& csv_name = "");
+
+/// Print a "label: measured vs paper" summary line.
+void print_paper_comparison(const std::string& label, double measured,
+                            double paper_value, const std::string& unit);
+
+/// Create/clean the results directory used by the benches ("results").
+[[nodiscard]] std::string results_dir();
+
+}  // namespace cloudmedia::expr

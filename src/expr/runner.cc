@@ -1,0 +1,167 @@
+#include "expr/runner.h"
+
+#include <memory>
+
+#include "cloud/cloud_service.h"
+#include "core/demand.h"
+#include "predict/policy.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cloudmedia::expr {
+
+namespace {
+
+double mean_over_window(const util::TimeSeries& series, double t0, double t1) {
+  return series.mean_over(t0, t1);
+}
+
+std::unique_ptr<core::DemandPolicy> make_policy(
+    const ExperimentConfig& config, const workload::Workload& workload) {
+  core::DemandEstimatorConfig estimator;
+  estimator.mode = config.mode;
+  estimator.capacity_model = config.capacity_model;
+  estimator.occupancy_floor = config.occupancy_floor;
+  estimator.p2p = config.p2p;
+
+  switch (config.strategy) {
+    case Strategy::kModelBased:
+      return std::make_unique<core::ModelBasedPolicy>(config.vod, estimator);
+    case Strategy::kReactive:
+      return std::make_unique<core::ReactivePolicy>(config.vod,
+                                                    config.reactive_margin);
+    case Strategy::kStatic: {
+      // Peak provisioning: the paper's model evaluated at the diurnal peak.
+      core::DemandEstimator peak_estimator(config.vod, estimator);
+      const workload::ViewingBehavior& behavior = config.workload.behavior;
+      const int j = config.vod.chunks_per_video;
+      core::ChannelObservation obs;
+      obs.transfer = behavior.transfer_matrix(j);
+      obs.entry = behavior.entry_distribution(j);
+      obs.occupancy.assign(static_cast<std::size_t>(j), 0.0);
+      obs.mean_peer_uplink = workload.uplink_distribution().mean();
+      std::vector<std::vector<double>> demand;
+      demand.reserve(static_cast<std::size_t>(workload.num_channels()));
+      double total = 0.0;
+      for (int c = 0; c < workload.num_channels(); ++c) {
+        obs.arrival_rate = workload.channel_max_rate(c);
+        demand.push_back(peak_estimator.estimate(obs).cloud_demand);
+        for (double d : demand.back()) total += d;
+      }
+      // Channel peaks do not coincide, so their sum can exceed what the
+      // cloud sells. A fixed plan must be purchasable: pro-rate everything
+      // to the deliverable capacity, as an operator buying "peak" would.
+      double available = 0.0;
+      for (const core::VmClusterSpec& cluster : config.vm_clusters) {
+        available += static_cast<double>(cluster.max_vms) * config.vod.vm_bandwidth;
+      }
+      if (total > available && total > 0.0) {
+        const double scale = available / total;
+        for (auto& channel : demand) {
+          for (double& d : channel) d *= scale;
+        }
+      }
+      return std::make_unique<core::StaticPolicy>(std::move(demand));
+    }
+    case Strategy::kSeasonal:
+      return std::make_unique<core::SeasonalPolicy>(config.vod, estimator);
+    case Strategy::kForecast:
+      return std::make_unique<predict::ForecastPolicy>(config.vod, estimator,
+                                                       config.forecaster);
+    case Strategy::kClairvoyant:
+      return std::make_unique<core::ClairvoyantPolicy>(
+          config.vod, estimator,
+          [&workload](int channel, double t0, double t1) {
+            // True mean rate over the interval, 1-minute resolution.
+            CM_EXPECTS(t1 > t0);
+            double acc = 0.0;
+            int n = 0;
+            for (double t = t0; t < t1; t += 60.0) {
+              acc += workload.channel_rate(channel, t);
+              ++n;
+            }
+            return n > 0 ? acc / n : workload.channel_rate(channel, t0);
+          });
+  }
+  throw util::PreconditionError("unknown strategy");
+}
+
+}  // namespace
+
+double ExperimentResult::mean_quality() const {
+  return mean_over_window(metrics.quality, measure_start, measure_end);
+}
+double ExperimentResult::mean_reserved_mbps() const {
+  return mean_over_window(metrics.reserved_mbps, measure_start, measure_end);
+}
+double ExperimentResult::mean_used_cloud_mbps() const {
+  return mean_over_window(metrics.used_cloud_mbps, measure_start, measure_end);
+}
+double ExperimentResult::mean_used_peer_mbps() const {
+  return mean_over_window(metrics.used_peer_mbps, measure_start, measure_end);
+}
+double ExperimentResult::mean_vm_cost_rate() const {
+  return mean_over_window(metrics.vm_cost_rate, measure_start, measure_end);
+}
+double ExperimentResult::mean_storage_cost_rate() const {
+  return mean_over_window(metrics.storage_cost_rate, measure_start, measure_end);
+}
+double ExperimentResult::mean_concurrent_users() const {
+  return mean_over_window(metrics.concurrent_users, measure_start, measure_end);
+}
+
+double ExperimentResult::reserved_covers_used_fraction() const {
+  const util::TimeSeries& reserved = metrics.reserved_mbps;
+  const util::TimeSeries& used = metrics.used_cloud_mbps;
+  std::size_t covered = 0, total = 0;
+  for (std::size_t i = 0; i < std::min(reserved.size(), used.size()); ++i) {
+    if (reserved.time_at(i) < measure_start || reserved.time_at(i) >= measure_end)
+      continue;
+    ++total;
+    if (reserved.value_at(i) >= used.value_at(i) - 1e-9) ++covered;
+  }
+  return total ? static_cast<double>(covered) / static_cast<double>(total) : 1.0;
+}
+
+ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
+  config.validate();
+
+  sim::Simulator simulator;
+  const workload::Workload workload(config.workload, config.seed);
+
+  cloud::CloudConfig cloud_config;
+  cloud_config.sla = cloud::SlaTerms{config.vm_budget_per_hour,
+                                     config.storage_budget_per_hour,
+                                     config.vm_clusters, config.nfs_clusters};
+  cloud_config.vm =
+      cloud::VmSchedulerConfig{config.vm_boot_delay, config.vod.vm_bandwidth};
+  cloud::CloudService cloud(simulator, cloud_config);
+
+  core::ControllerConfig controller_config{
+      config.vm_clusters, config.nfs_clusters, config.vm_budget_per_hour,
+      config.storage_budget_per_hour};
+  auto controller = std::make_unique<core::Controller>(
+      config.vod, controller_config, make_policy(config, workload));
+
+  vod::StreamingOptions options = config.streaming;
+  options.mode = config.mode;
+  vod::StreamingSystem system(simulator, workload, config.vod, cloud,
+                              std::move(controller), options);
+  system.start();
+  simulator.run_until(config.total_duration());
+
+  ExperimentResult result;
+  result.metrics = system.metrics();
+  result.measure_start = config.measure_start();
+  result.measure_end = config.total_duration();
+  result.vm_cost_total = cloud.billing().total("vm");
+  result.storage_cost_total = cloud.billing().total("storage");
+  result.plans_submitted =
+      static_cast<long>(cloud.request_monitor().log().size());
+  result.plans_rejected = result.metrics.counters.rejected_plans;
+  result.vm_boots = cloud.vm_monitor().total_boots();
+  result.vm_shutdowns = cloud.vm_monitor().total_shutdowns();
+  return result;
+}
+
+}  // namespace cloudmedia::expr

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "expr/config.h"
+
+namespace cloudmedia::expr {
+
+/// Everything a figure bench needs after one run.
+struct ExperimentResult {
+  vod::SystemMetrics metrics;
+  double measure_start = 0.0;   ///< seconds; warmup boundary
+  double measure_end = 0.0;     ///< seconds
+  double vm_cost_total = 0.0;       ///< $ accrued over the whole run
+  double storage_cost_total = 0.0;  ///< $
+  long plans_submitted = 0;
+  long plans_rejected = 0;
+  long vm_boots = 0;
+  long vm_shutdowns = 0;
+
+  // --- summaries over the measurement window ----------------------------
+  [[nodiscard]] double mean_quality() const;
+  [[nodiscard]] double mean_reserved_mbps() const;
+  [[nodiscard]] double mean_used_cloud_mbps() const;
+  [[nodiscard]] double mean_used_peer_mbps() const;
+  [[nodiscard]] double mean_vm_cost_rate() const;      ///< $/h
+  [[nodiscard]] double mean_storage_cost_rate() const; ///< $/h
+  [[nodiscard]] double mean_concurrent_users() const;
+  /// Fraction of bandwidth samples where reserved >= used (prediction
+  /// sufficiency, the Fig.-4 claim).
+  [[nodiscard]] double reserved_covers_used_fraction() const;
+};
+
+/// Build + run one experiment end to end. Deterministic in config.seed.
+class ExperimentRunner {
+ public:
+  [[nodiscard]] static ExperimentResult run(const ExperimentConfig& config);
+};
+
+}  // namespace cloudmedia::expr

@@ -1,0 +1,59 @@
+#include "predict/accuracy.h"
+
+#include <cmath>
+
+namespace cloudmedia::predict {
+
+void ForecastScore::add(double forecast, double actual) {
+  const double error = forecast - actual;
+  ++count_;
+  abs_sum_ += std::abs(error);
+  sq_sum_ += error * error;
+  signed_sum_ += error;
+  if (forecast < actual) {
+    ++under_count_;
+    shortfall_sum_ += actual - forecast;
+  }
+  if (actual > mape_floor) {
+    ++mape_count_;
+    mape_sum_ += std::abs(error) / actual;
+  }
+}
+
+void ForecastScore::merge(const ForecastScore& other) noexcept {
+  count_ += other.count_;
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  signed_sum_ += other.signed_sum_;
+  shortfall_sum_ += other.shortfall_sum_;
+  under_count_ += other.under_count_;
+  mape_count_ += other.mape_count_;
+  mape_sum_ += other.mape_sum_;
+}
+
+double ForecastScore::mae() const noexcept {
+  return count_ ? abs_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double ForecastScore::rmse() const noexcept {
+  return count_ ? std::sqrt(sq_sum_ / static_cast<double>(count_)) : 0.0;
+}
+
+double ForecastScore::mape() const noexcept {
+  return mape_count_ ? mape_sum_ / static_cast<double>(mape_count_) : 0.0;
+}
+
+double ForecastScore::bias() const noexcept {
+  return count_ ? signed_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double ForecastScore::under_fraction() const noexcept {
+  return count_ ? static_cast<double>(under_count_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+double ForecastScore::mean_shortfall() const noexcept {
+  return count_ ? shortfall_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace cloudmedia::predict

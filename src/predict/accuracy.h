@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+namespace cloudmedia::predict {
+
+/// Streaming accuracy metrics for one-step forecasts. For capacity
+/// provisioning the sign of the error matters as much as its size: an
+/// under-forecast translates into under-provisioned bandwidth (late chunks,
+/// quality loss) while an over-forecast only costs money — hence `bias` and
+/// `under_fraction` alongside the usual MAE/RMSE/MAPE.
+class ForecastScore {
+ public:
+  /// Record one (forecast, actual) pair, in units of the forecast target.
+  void add(double forecast, double actual);
+
+  void merge(const ForecastScore& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Mean absolute error; 0 when empty.
+  [[nodiscard]] double mae() const noexcept;
+  /// Root mean squared error; 0 when empty.
+  [[nodiscard]] double rmse() const noexcept;
+  /// Mean |error| / actual over pairs with actual > `mape_floor`; 0 when no
+  /// such pair exists (all-idle channels produce actual = 0, which would
+  /// make the classic MAPE blow up).
+  [[nodiscard]] double mape() const noexcept;
+  /// Mean signed error (forecast − actual): negative = systematically
+  /// under-provisioning.
+  [[nodiscard]] double bias() const noexcept;
+  /// Fraction of pairs with forecast < actual (the dangerous direction).
+  [[nodiscard]] double under_fraction() const noexcept;
+  /// Mean of the under-shoot magnitude max(0, actual − forecast).
+  [[nodiscard]] double mean_shortfall() const noexcept;
+
+  /// Actual values at or below this are excluded from MAPE only.
+  static constexpr double mape_floor = 1e-12;
+
+ private:
+  std::size_t count_ = 0;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double signed_sum_ = 0.0;
+  double shortfall_sum_ = 0.0;
+  std::size_t under_count_ = 0;
+  std::size_t mape_count_ = 0;
+  double mape_sum_ = 0.0;
+};
+
+}  // namespace cloudmedia::predict

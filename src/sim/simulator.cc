@@ -1,0 +1,77 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudmedia::sim {
+
+EventId Simulator::schedule_at(double t, Callback fn) {
+  CM_EXPECTS(t >= now_);
+  CM_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_in(double delay, Callback fn) {
+  CM_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) noexcept {
+  // The heap entry stays behind as a tombstone; pop_and_run skips entries
+  // whose callback has been erased.
+  return callbacks_.erase(id) > 0;
+}
+
+void Simulator::pop_and_run() {
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return;  // cancelled
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = entry.time;
+  ++processed_;
+  fn();
+}
+
+void Simulator::run_until(double t) {
+  CM_EXPECTS(t >= now_);
+  while (!heap_.empty() && heap_.top().time <= t) pop_and_run();
+  now_ = t;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!heap_.empty() && n < max_events) {
+    const std::uint64_t before = processed_;
+    pop_and_run();
+    n += static_cast<std::size_t>(processed_ - before);
+  }
+  return n;
+}
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(
+    double start, double interval, std::function<void(double)> fn) {
+  CM_EXPECTS(interval > 0.0);
+  CM_EXPECTS(start >= now_);
+  CM_EXPECTS(fn != nullptr);
+  auto active = std::make_shared<bool>(true);
+  // Self-rescheduling closure; the shared flag decouples cancellation from
+  // the (changing) per-firing event id.
+  auto tick = std::make_shared<std::function<void(double)>>();
+  *tick = [this, active, interval, fn = std::move(fn), tick](double fire_time) {
+    if (!*active) return;
+    fn(fire_time);
+    if (!*active) return;
+    const double next = fire_time + interval;
+    schedule_at(next, [tick, next] { (*tick)(next); });
+  };
+  schedule_at(start, [tick, start] { (*tick)(start); });
+  return PeriodicHandle(std::move(active));
+}
+
+}  // namespace cloudmedia::sim

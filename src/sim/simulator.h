@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudmedia::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// Events at equal timestamps fire in scheduling order (stable FIFO
+/// tie-break via a monotonically increasing sequence number), which keeps
+/// runs bitwise-reproducible for a given seed. Callbacks may schedule and
+/// cancel further events freely.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(double t, Callback fn);
+  /// Schedule `fn` after `delay` seconds (delay >= 0).
+  EventId schedule_in(double delay, Callback fn);
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled. Cancelling kInvalidEvent is a no-op returning false.
+  bool cancel(EventId id) noexcept;
+
+  /// Run every event with timestamp <= t, then advance the clock to t.
+  void run_until(double t);
+  /// Run until the queue drains or `max_events` have fired.
+  /// Returns the number of events processed.
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Handle controlling a periodic task; destroying the handle does NOT
+  /// cancel the task (call cancel()). Copyable (shared control block).
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    void cancel() noexcept {
+      if (active_) *active_ = false;
+    }
+    [[nodiscard]] bool active() const noexcept { return active_ && *active_; }
+
+   private:
+    friend class Simulator;
+    explicit PeriodicHandle(std::shared_ptr<bool> active)
+        : active_(std::move(active)) {}
+    std::shared_ptr<bool> active_;
+  };
+
+  /// Fire `fn(fire_time)` at `start`, `start + interval`, ... until the
+  /// returned handle is cancelled. interval must be > 0.
+  PeriodicHandle schedule_periodic(double start, double interval,
+                                   std::function<void(double)> fn);
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    // min-heap: earliest time first; FIFO among equal times.
+    [[nodiscard]] bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void pop_and_run();
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace cloudmedia::sim

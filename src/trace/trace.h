@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/demand.h"
+#include "core/params.h"
+#include "workload/scenario.h"
+
+namespace cloudmedia::trace {
+
+/// One user session of a recorded workload trace: when the user arrived,
+/// which channel they joined, their upload capacity, and the exact chunk
+/// walk they will follow. This is the PPLive-style input the paper's
+/// evaluation is driven by ("we have generated a synthetic trace, following
+/// the measured user dynamics ... in PPLive VoD", Sec. VI-A), made a
+/// first-class artifact: record it, save it, analyze it, or feed it to the
+/// controller offline.
+struct TraceSession {
+  double arrival_time = 0.0;
+  int channel = 0;
+  double uplink = 0.0;        ///< bytes/s
+  std::vector<int> chunks;    ///< non-empty chunk walk
+};
+
+struct Trace {
+  int num_channels = 0;
+  int chunks_per_video = 0;
+  std::vector<TraceSession> sessions;  ///< sorted by arrival_time
+
+  void validate() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions.size(); }
+  /// Latest arrival time (0 for an empty trace).
+  [[nodiscard]] double horizon() const noexcept;
+  [[nodiscard]] std::vector<std::size_t> sessions_per_channel() const;
+  /// Mean chunks per session (0 for an empty trace).
+  [[nodiscard]] double mean_session_chunks() const;
+};
+
+/// Materialize a Workload's arrivals and sessions over [0, horizon) into a
+/// trace. Deterministic: the same (workload config, seed, horizon) always
+/// records the same trace — recording is replay.
+[[nodiscard]] Trace record_trace(const workload::Workload& workload, double horizon);
+
+/// CSV round trip. Row format:
+///   arrival_time,channel,uplink,chunk0;chunk1;...
+/// with a `# cloudmedia-trace v1 <channels> <chunks>` header line.
+void save_trace_csv(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace load_trace_csv(const std::string& path);
+
+/// Offline tracker: turns a trace into the per-interval TrackerReports the
+/// controller consumes, without running a simulation — measured arrival
+/// rates, empirical viewing patterns, entry distribution, and an occupancy
+/// estimate (each chunk is assumed to hold a viewer for T0, the paper's
+/// smooth-playback design point). Lets a provider answer "what would
+/// CloudMedia have provisioned on this trace" from logs alone.
+class TraceAnalyzer {
+ public:
+  TraceAnalyzer(Trace trace, core::VodParameters params);
+
+  /// Reports for consecutive intervals [k·T, (k+1)·T) covering the trace.
+  [[nodiscard]] std::vector<core::TrackerReport> reports(
+      double interval, double mean_peer_uplink) const;
+
+  /// Transition counts over the whole trace, row-normalized by visits
+  /// (rows with no observed departure are all-zero, i.e. certain leave).
+  [[nodiscard]] util::Matrix empirical_transfer(int channel) const;
+  [[nodiscard]] std::vector<double> empirical_entry(int channel) const;
+  /// Mean external arrival rate of `channel` over [t0, t1).
+  [[nodiscard]] double arrival_rate(int channel, double t0, double t1) const;
+  /// Expected users per chunk queue of `channel` at time t, assuming each
+  /// chunk dwells T0.
+  [[nodiscard]] std::vector<double> occupancy(int channel, double t) const;
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  Trace trace_;
+  core::VodParameters params_;
+};
+
+}  // namespace cloudmedia::trace

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cloudmedia::util {
+
+/// Thrown when a CM_EXPECTS precondition is violated (API misuse).
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a CM_ENSURES / CM_ASSERT internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr,
+                                           const std::source_location& loc) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr,
+                                        const std::source_location& loc) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+}  // namespace detail
+
+}  // namespace cloudmedia::util
+
+/// Precondition check: violations indicate caller error and throw
+/// PreconditionError. Always enabled (cost is negligible next to simulation
+/// work, and silent contract violations are worse than branches).
+#define CM_EXPECTS(cond)                                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::cloudmedia::util::detail::fail_precondition(        \
+          #cond, ::std::source_location::current());        \
+    }                                                       \
+  } while (false)
+
+/// Postcondition / internal invariant check; throws InvariantError.
+#define CM_ENSURES(cond)                                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::cloudmedia::util::detail::fail_invariant(           \
+          #cond, ::std::source_location::current());        \
+    }                                                       \
+  } while (false)
+
+#define CM_ASSERT(cond) CM_ENSURES(cond)

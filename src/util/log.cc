@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace cloudmedia::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::clog << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace cloudmedia::util

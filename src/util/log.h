@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cloudmedia::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Benches default to kWarn so figure output
+/// stays clean; tests that exercise logging raise it locally.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Lightweight streaming logger: CM_LOG(kInfo) << "x=" << x;
+/// The stream body is not evaluated when the level is below threshold.
+#define CM_LOG(level)                                                       \
+  if (static_cast<int>(::cloudmedia::util::LogLevel::level) <               \
+      static_cast<int>(::cloudmedia::util::log_threshold()))                \
+    ;                                                                       \
+  else                                                                      \
+    ::cloudmedia::util::LogMessage(::cloudmedia::util::LogLevel::level)
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) noexcept : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { detail::emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cloudmedia::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudmedia::util {
+
+/// Small dense row-major matrix of doubles, sized for the paper's
+/// per-channel systems (J ≈ 20 chunks). Not a general linear-algebra
+/// library: just what the Jackson traffic equations and Proposition 1
+/// need — construction, transpose, mat-vec, and a pivoted linear solve.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& v) const;
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Max absolute row sum (infinity norm).
+  [[nodiscard]] double inf_norm() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws InvariantError if A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a,
+                                                      std::vector<double> b);
+
+}  // namespace cloudmedia::util

@@ -1,0 +1,66 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace cloudmedia::util {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::derive(std::uint64_t purpose, std::uint64_t id) const noexcept {
+  std::uint64_t s = mix64(seed_ ^ mix64(purpose));
+  s = mix64(s ^ mix64(id + 0x517cc1b727220a95ULL));
+  return Rng(s);
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  CM_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  CM_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  CM_EXPECTS(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  CM_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  CM_EXPECTS(stddev >= 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CM_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CM_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  CM_EXPECTS(total > 0.0);
+  double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // numeric edge: target == total
+}
+
+}  // namespace cloudmedia::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cloudmedia::util {
+
+/// Seeded random-number façade over std::mt19937_64.
+///
+/// Streams are derived, not shared: `Rng::derive(purpose, id)` produces an
+/// independent generator keyed by (seed, purpose, id), so the same entity
+/// (user, channel) sees the same randomness regardless of how unrelated
+/// events interleave. This is what makes compared systems (client-server
+/// vs. P2P vs. baseline provisioners) face identical workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent stream keyed by (this seed, purpose, id).
+  [[nodiscard]] Rng derive(std::uint64_t purpose, std::uint64_t id = 0) const noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi);
+  /// Exponential with the given mean (mean > 0).
+  [[nodiscard]] double exponential(double mean);
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p);
+  /// Standard normal.
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Sample an index from non-negative weights (at least one positive).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// SplitMix64 mix used for deriving stream seeds; exposed for tests.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace cloudmedia::util

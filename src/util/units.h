@@ -1,0 +1,40 @@
+#pragma once
+
+namespace cloudmedia::util {
+
+// The codebase uses plain doubles with fixed base units:
+//   time       — seconds
+//   data       — bytes
+//   bandwidth  — bytes per second
+//   money      — US dollars
+//   rates      — per second
+// The helpers below exist so call sites read in the paper's units
+// (Mbps, GB, hours) while arithmetic stays in base units.
+
+inline constexpr double kBitsPerByte = 8.0;
+
+[[nodiscard]] constexpr double kbps(double v) { return v * 1e3 / kBitsPerByte; }
+[[nodiscard]] constexpr double mbps(double v) { return v * 1e6 / kBitsPerByte; }
+[[nodiscard]] constexpr double gbps(double v) { return v * 1e9 / kBitsPerByte; }
+
+[[nodiscard]] constexpr double to_kbps(double bytes_per_s) {
+  return bytes_per_s * kBitsPerByte / 1e3;
+}
+[[nodiscard]] constexpr double to_mbps(double bytes_per_s) {
+  return bytes_per_s * kBitsPerByte / 1e6;
+}
+
+[[nodiscard]] constexpr double kilobytes(double v) { return v * 1e3; }
+[[nodiscard]] constexpr double megabytes(double v) { return v * 1e6; }
+[[nodiscard]] constexpr double gigabytes(double v) { return v * 1e9; }
+[[nodiscard]] constexpr double to_gigabytes(double bytes) { return bytes / 1e9; }
+[[nodiscard]] constexpr double to_megabytes(double bytes) { return bytes / 1e6; }
+
+[[nodiscard]] constexpr double seconds(double v) { return v; }
+[[nodiscard]] constexpr double minutes(double v) { return v * 60.0; }
+[[nodiscard]] constexpr double hours(double v) { return v * 3600.0; }
+[[nodiscard]] constexpr double days(double v) { return v * 86400.0; }
+[[nodiscard]] constexpr double to_hours(double secs) { return secs / 3600.0; }
+[[nodiscard]] constexpr double to_days(double secs) { return secs / 86400.0; }
+
+}  // namespace cloudmedia::util

@@ -1,0 +1,175 @@
+#include "vod/service_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudmedia::vod {
+
+namespace {
+/// Completion tolerance in bytes; pools serve megabyte-scale chunks.
+constexpr double kEpsBytes = 1e-5;
+
+/// Smallest representable time step from `now` (one double ULP). Work that
+/// would complete within a few of these cannot be scheduled as a future
+/// event — `now + dt` rounds back to `now` and the timer would spin at a
+/// frozen clock. Completion checks therefore treat anything within
+/// 4 quanta of service as done.
+double time_quantum(double now) noexcept {
+  return std::nextafter(std::abs(now), std::numeric_limits<double>::infinity()) -
+         std::abs(now);
+}
+}
+
+ServicePool::ServicePool(sim::Simulator& simulator, double per_job_cap,
+                         CompletionHandler on_complete)
+    : sim_(&simulator),
+      per_job_cap_(per_job_cap),
+      on_complete_(std::move(on_complete)),
+      last_update_(simulator.now()) {
+  CM_EXPECTS(per_job_cap_ > 0.0);
+  CM_EXPECTS(on_complete_ != nullptr);
+}
+
+double ServicePool::per_job_rate() const noexcept {
+  if (jobs_.empty()) return 0.0;
+  const double share = total_capacity() / static_cast<double>(jobs_.size());
+  return std::min(per_job_cap_, share);
+}
+
+double ServicePool::total_rate() const noexcept {
+  return per_job_rate() * static_cast<double>(jobs_.size());
+}
+
+double ServicePool::peer_rate() const noexcept {
+  return std::min(total_rate(), peer_cap_);
+}
+
+double ServicePool::cloud_rate() const noexcept {
+  return std::max(0.0, total_rate() - peer_cap_);
+}
+
+void ServicePool::advance() {
+  const double now = sim_->now();
+  const double dt = now - last_update_;
+  if (dt > 0.0 && !jobs_.empty()) {
+    const double rate = per_job_rate();
+    service_level_ += rate * dt;
+    const double total = rate * static_cast<double>(jobs_.size());
+    const double peer = std::min(total, peer_cap_);
+    peer_bytes_ += peer * dt;
+    cloud_bytes_ += (total - peer) * dt;
+  }
+  last_update_ = now;
+  maybe_rebase();
+}
+
+void ServicePool::maybe_rebase() {
+  // service_level_ only matters *relative to the outstanding targets*, but
+  // it accumulates without bound (≈ per-job rate × busy time). Once its
+  // magnitude passes ~2^35 bytes, one double ULP exceeds kEpsBytes and
+  // `level += rate·dt` can round to zero progress — the pool then
+  // reschedules the same completion forever at an unmoving clock (a
+  // livelock that froze week-long simulations around t = 2^17 s). Rebase
+  // to zero whenever it is safe or the magnitude approaches the danger
+  // zone; at the 1e9 threshold the ULP is ~2.4e-7, two orders below the
+  // completion tolerance.
+  if (jobs_.empty()) {
+    service_level_ = 0.0;
+    return;
+  }
+  constexpr double kRebaseThreshold = 1e9;
+  if (service_level_ < kRebaseThreshold) return;
+  const double base = service_level_;
+  std::map<JobKey, Job> rebased;
+  auto hint = rebased.end();
+  for (const auto& [key, job] : jobs_) {
+    hint = rebased.emplace_hint(hint, JobKey{key.first - base, key.second},
+                                job);
+  }
+  jobs_ = std::move(rebased);
+  for (auto& [id, target] : target_of_) target -= base;
+  service_level_ = 0.0;
+}
+
+void ServicePool::sync() { advance(); }
+
+void ServicePool::reschedule() {
+  if (pending_ != sim::kInvalidEvent) {
+    sim_->cancel(pending_);
+    pending_ = sim::kInvalidEvent;
+  }
+  if (jobs_.empty()) return;
+  const double rate = per_job_rate();
+  if (rate <= 0.0) return;  // starved: resumes when capacity returns
+  const double next_target = jobs_.begin()->first.first;
+  double dt = std::max(0.0, (next_target - service_level_) / rate);
+  // Defensive progress guarantee: a timer that lands back on `now` (dt
+  // below the clock's resolution) would re-run this path forever with a
+  // frozen clock. The completion tolerance in on_timer() makes this
+  // unreachable; keep the guard in case a caller path misses it.
+  while (sim_->now() + dt == sim_->now()) {
+    dt = dt > 0.0 ? 2.0 * dt : time_quantum(sim_->now());
+  }
+  pending_ = sim_->schedule_in(dt, [this] { on_timer(); });
+}
+
+void ServicePool::on_timer() {
+  pending_ = sim::kInvalidEvent;
+  advance();
+  std::vector<Completion> done;
+  // Tolerance: the byte floor, plus whatever service the simulator clock
+  // cannot resolve at this rate (see time_quantum above).
+  const double eps =
+      std::max(kEpsBytes, per_job_rate() * 4.0 * time_quantum(sim_->now()));
+  while (!jobs_.empty() &&
+         jobs_.begin()->first.first <= service_level_ + eps) {
+    const auto it = jobs_.begin();
+    Completion c;
+    c.job_id = it->first.second;
+    c.tag = it->second.tag;
+    c.enqueue_time = it->second.enqueue_time;
+    c.sojourn = sim_->now() - it->second.enqueue_time;
+    target_of_.erase(c.job_id);
+    jobs_.erase(it);
+    done.push_back(c);
+  }
+  reschedule();
+  // Handlers run on a consistent pool; they may re-enter via add_job.
+  for (const Completion& c : done) on_complete_(c);
+}
+
+void ServicePool::set_capacity(double peer_capacity, double cloud_capacity) {
+  CM_EXPECTS(peer_capacity >= 0.0);
+  CM_EXPECTS(cloud_capacity >= 0.0);
+  advance();
+  peer_cap_ = peer_capacity;
+  cloud_cap_ = cloud_capacity;
+  reschedule();
+}
+
+std::uint64_t ServicePool::add_job(double bytes, std::uint64_t tag) {
+  CM_EXPECTS(bytes > 0.0);
+  advance();
+  const std::uint64_t id = next_job_id_++;
+  const double target = service_level_ + bytes;
+  jobs_.emplace(JobKey{target, id}, Job{tag, sim_->now()});
+  target_of_.emplace(id, target);
+  reschedule();
+  return id;
+}
+
+bool ServicePool::remove_job(std::uint64_t job_id) {
+  const auto it = target_of_.find(job_id);
+  if (it == target_of_.end()) return false;
+  advance();
+  jobs_.erase(JobKey{it->second, job_id});
+  target_of_.erase(it);
+  reschedule();
+  return true;
+}
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+
+namespace cloudmedia::vod {
+
+/// Bandwidth pool serving the concurrent retrievals of one (channel, chunk).
+///
+/// Processor sharing with a per-connection cap: `n` active downloads each
+/// progress at min(per_job_cap, capacity / n) — what an Apache-style
+/// streaming server actually does, as opposed to the M/M/m FIFO of the
+/// paper's *model* (the model-vs-system gap is part of what the evaluation
+/// validates; see DESIGN.md).
+///
+/// Capacity has two components: peer upload (P2P overlay) and cloud VMs.
+/// Peers are drawn on first ("resort to streaming servers only when deemed
+/// necessary", Sec. III-B): the instantaneous cloud rate is
+/// max(0, total_rate − peer_capacity).
+///
+/// Implementation: all jobs share one rate, so a job completes when the
+/// pool's cumulative per-job service level reaches (level at enqueue +
+/// chunk bytes). Jobs live in an ordered map keyed by that target, and
+/// only the earliest completion is scheduled — O(log n) per event.
+class ServicePool {
+ public:
+  struct Completion {
+    std::uint64_t job_id = 0;
+    std::uint64_t tag = 0;          ///< caller context (peer id)
+    double enqueue_time = 0.0;
+    double sojourn = 0.0;           ///< wait + download time
+  };
+  using CompletionHandler = std::function<void(const Completion&)>;
+
+  /// `per_job_cap`: max bytes/s a single download may receive (the paper's
+  /// per-VM bandwidth R bounds one connection).
+  ServicePool(sim::Simulator& simulator, double per_job_cap,
+              CompletionHandler on_complete);
+
+  ServicePool(const ServicePool&) = delete;
+  ServicePool& operator=(const ServicePool&) = delete;
+
+  /// Update capacity components (bytes/s) as of now.
+  void set_capacity(double peer_capacity, double cloud_capacity);
+
+  /// Enqueue a download of `bytes`; returns a job id.
+  std::uint64_t add_job(double bytes, std::uint64_t tag);
+  /// Abort a job (no completion fires). Returns false if unknown.
+  bool remove_job(std::uint64_t job_id);
+
+  [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
+  [[nodiscard]] double peer_capacity() const noexcept { return peer_cap_; }
+  [[nodiscard]] double cloud_capacity() const noexcept { return cloud_cap_; }
+  [[nodiscard]] double total_capacity() const noexcept {
+    return peer_cap_ + cloud_cap_;
+  }
+
+  /// Instantaneous service rates (bytes/s).
+  [[nodiscard]] double total_rate() const noexcept;
+  [[nodiscard]] double peer_rate() const noexcept;
+  [[nodiscard]] double cloud_rate() const noexcept;
+
+  /// Cumulative bytes served, split by source (advanced lazily; exact as
+  /// of the last event, which is what the hourly tracker needs).
+  [[nodiscard]] double cloud_bytes_served() const noexcept { return cloud_bytes_; }
+  [[nodiscard]] double peer_bytes_served() const noexcept { return peer_bytes_; }
+
+  /// Advance internal accounting to now (e.g. before reading byte counters
+  /// at a sampling instant).
+  void sync();
+
+ private:
+  struct Job {
+    std::uint64_t tag;
+    double enqueue_time;
+  };
+  using JobKey = std::pair<double, std::uint64_t>;  ///< (target level, id)
+
+  [[nodiscard]] double per_job_rate() const noexcept;
+  void advance();
+  void maybe_rebase();
+  void reschedule();
+  void on_timer();
+
+  sim::Simulator* sim_;
+  double per_job_cap_;
+  CompletionHandler on_complete_;
+
+  double peer_cap_ = 0.0;
+  double cloud_cap_ = 0.0;
+  double service_level_ = 0.0;  ///< cumulative per-job bytes served
+  double last_update_ = 0.0;
+  double cloud_bytes_ = 0.0;
+  double peer_bytes_ = 0.0;
+
+  std::uint64_t next_job_id_ = 1;
+  std::map<JobKey, Job> jobs_;
+  std::unordered_map<std::uint64_t, double> target_of_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+};
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,517 @@
+#include "vod/streaming_system.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/units.h"
+
+namespace cloudmedia::vod {
+
+StreamingSystem::StreamingSystem(sim::Simulator& simulator,
+                                 const workload::Workload& workload,
+                                 core::VodParameters params,
+                                 cloud::CloudService& cloud,
+                                 std::unique_ptr<core::Controller> controller,
+                                 StreamingOptions options)
+    : sim_(&simulator),
+      workload_(&workload),
+      params_(params),
+      cloud_(&cloud),
+      controller_(std::move(controller)),
+      options_(options),
+      num_channels_(workload.num_channels()),
+      num_chunks_(params.chunks_per_video),
+      tracker_(workload.num_channels(), params.chunks_per_video),
+      entry_point_(options.entry) {
+  params_.validate();
+  CM_EXPECTS(controller_ != nullptr);
+  CM_EXPECTS(workload.config().chunks_per_video == params.chunks_per_video);
+  CM_EXPECTS(options_.provisioning_interval > 0.0);
+  CM_EXPECTS(options_.rebalance_interval > 0.0);
+  CM_EXPECTS(options_.sample_interval > 0.0);
+  CM_EXPECTS(options_.quality_interval > 0.0 && options_.quality_window > 0.0);
+
+  const std::size_t total =
+      static_cast<std::size_t>(num_channels_) * static_cast<std::size_t>(num_chunks_);
+  pools_.reserve(total);
+  for (int c = 0; c < num_channels_; ++c) {
+    for (int i = 0; i < num_chunks_; ++i) {
+      pools_.push_back(std::make_unique<ServicePool>(
+          simulator, params_.vm_bandwidth,
+          [this, c, i](const ServicePool::Completion& completion) {
+            handle_completion(c, i, completion);
+          }));
+    }
+  }
+  peer_capacity_.assign(total, 0.0);
+  served_cloud_snapshot_.assign(total, 0.0);
+  members_.resize(static_cast<std::size_t>(num_channels_));
+  owner_count_.assign(static_cast<std::size_t>(num_channels_),
+                      std::vector<int>(static_cast<std::size_t>(num_chunks_), 0));
+  position_count_ = owner_count_;
+  uplink_sum_.assign(static_cast<std::size_t>(num_channels_), 0.0);
+  next_user_index_.assign(static_cast<std::size_t>(num_channels_), 0);
+  last_arrival_time_.assign(static_cast<std::size_t>(num_channels_), 0.0);
+  metrics_.channels.resize(static_cast<std::size_t>(num_channels_));
+
+  cloud_->vm_scheduler().set_capacity_listener([this] { rebalance_capacity(); });
+}
+
+std::size_t StreamingSystem::pool_index(int channel, int chunk) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  CM_EXPECTS(chunk >= 0 && chunk < num_chunks_);
+  return static_cast<std::size_t>(channel) * static_cast<std::size_t>(num_chunks_) +
+         static_cast<std::size_t>(chunk);
+}
+
+ServicePool& StreamingSystem::pool(int channel, int chunk) {
+  return *pools_[pool_index(channel, chunk)];
+}
+
+void StreamingSystem::start() {
+  CM_EXPECTS(!started_);
+  started_ = true;
+
+  for (int c = 0; c < num_channels_; ++c) {
+    arrivals_.push_back(workload_->make_arrivals(c));
+  }
+  for (int c = 0; c < num_channels_; ++c) {
+    last_arrival_time_[static_cast<std::size_t>(c)] = sim_->now();
+    schedule_next_arrival(c);
+  }
+
+  const double t0 = sim_->now();
+  if (options_.bootstrap_plan) {
+    sim_->schedule_at(t0, [this] {
+      const core::ProvisioningPlan plan = controller_->plan(bootstrap_report());
+      apply_plan(plan);
+      record_plan_series(sim_->now());
+    });
+  }
+  sim_->schedule_periodic(t0 + options_.provisioning_interval,
+                          options_.provisioning_interval,
+                          [this](double t) { run_provisioning(t); });
+  sim_->schedule_periodic(t0 + options_.rebalance_interval,
+                          options_.rebalance_interval,
+                          [this](double) { rebalance_capacity(); });
+  sim_->schedule_periodic(t0 + options_.sample_interval, options_.sample_interval,
+                          [this](double t) { sample_bandwidth(t); });
+  sim_->schedule_periodic(t0 + options_.quality_interval,
+                          options_.quality_interval,
+                          [this](double t) { sample_quality(t); });
+}
+
+// --- user lifecycle -------------------------------------------------------
+
+void StreamingSystem::schedule_next_arrival(int channel) {
+  const auto ch = static_cast<std::size_t>(channel);
+  const double t = arrivals_[ch].next_after(last_arrival_time_[ch]);
+  last_arrival_time_[ch] = t;
+  sim_->schedule_at(t, [this, channel, t] { handle_arrival(channel, t); });
+}
+
+void StreamingSystem::handle_arrival(int channel, double time) {
+  const auto ch = static_cast<std::size_t>(channel);
+  const workload::SessionScript script =
+      workload_->make_session(channel, next_user_index_[ch]++);
+  CM_ENSURES(!script.chunks.empty());
+
+  const std::uint64_t id = next_peer_id_++;
+  Peer peer;
+  peer.id = id;
+  peer.channel = channel;
+  peer.uplink = script.uplink;
+  peer.arrival_time = time;
+  peer.walk = script.chunks;
+  peer.owned.assign(static_cast<std::size_t>(num_chunks_), false);
+  const int entry = peer.walk.front();
+
+  members_[ch].insert(id);
+  uplink_sum_[ch] += peer.uplink;
+  ++position_count_[ch][static_cast<std::size_t>(entry)];
+  tracker_.record_arrival(channel, entry);
+  ++metrics_.counters.arrivals;
+
+  auto [it, inserted] = peers_.emplace(id, std::move(peer));
+  CM_ENSURES(inserted);
+  begin_chunk(it->second);
+
+  schedule_next_arrival(channel);
+}
+
+void StreamingSystem::begin_chunk(Peer& peer) {
+  const int chunk = peer.walk[peer.position];
+  if (peer.owned[static_cast<std::size_t>(chunk)]) {
+    // Replay from the local buffer: instant retrieval, watch for T0.
+    ++metrics_.counters.buffered_replays;
+    const std::uint64_t id = peer.id;
+    sim_->schedule_in(params_.chunk_duration,
+                      [this, id] { handle_dwell_end(id); });
+    return;
+  }
+  // Sec. V-B admission path: with insufficient peer supply (no overlay
+  // owner of the chunk; always, in client–server mode) the tracker refers
+  // the peer to the cloud with <entry address, ports, ticket>, and the
+  // entry point verifies the ticket before forwarding to a VM. Referral
+  // and redemption happen within one event (the round trip is sub-second
+  // against 5-minute chunks) — admission accounting, not a bandwidth
+  // effect.
+  const bool needs_cloud =
+      options_.mode == core::StreamingMode::kClientServer ||
+      owner_count(peer.channel, chunk) == 0;
+  if (needs_cloud) {
+    const cloud::CloudReferral referral = entry_point_.issue(sim_->now());
+    const cloud::TicketStatus verdict =
+        entry_point_.redeem(referral.ticket, sim_->now());
+    CM_ENSURES(verdict == cloud::TicketStatus::kValid);
+  }
+  peer.downloading = true;
+  peer.download_start = sim_->now();
+  pool(peer.channel, chunk).add_job(params_.chunk_bytes(), peer.id);
+}
+
+void StreamingSystem::handle_completion(int channel, int chunk,
+                                        const ServicePool::Completion& completion) {
+  const auto it = peers_.find(completion.tag);
+  if (it == peers_.end()) return;  // departed with an aborted job
+  Peer& peer = it->second;
+  CM_ENSURES(peer.channel == channel);
+  CM_ENSURES(peer.walk[peer.position] == chunk);
+
+  peer.downloading = false;
+  ++metrics_.counters.chunk_downloads;
+  const bool late = completion.sojourn > params_.chunk_duration + 1e-9;
+  if (late) {
+    peer.last_late = sim_->now();
+    ++metrics_.counters.late_downloads;
+  }
+
+  if (!peer.owned[static_cast<std::size_t>(chunk)]) {
+    peer.owned[static_cast<std::size_t>(chunk)] = true;
+    ++owner_count_[static_cast<std::size_t>(channel)][static_cast<std::size_t>(chunk)];
+  }
+
+  // The user watches the chunk for T0; a late download stalls playback, so
+  // the dwell in this position is max(T0, sojourn) from download start.
+  const double dwell_end =
+      std::max(completion.enqueue_time + params_.chunk_duration, sim_->now());
+  const std::uint64_t id = peer.id;
+  sim_->schedule_at(dwell_end, [this, id] { handle_dwell_end(id); });
+}
+
+void StreamingSystem::handle_dwell_end(std::uint64_t peer_id) {
+  const auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;
+  advance_walk(it->second);
+}
+
+void StreamingSystem::advance_walk(Peer& peer) {
+  const auto ch = static_cast<std::size_t>(peer.channel);
+  const int from = peer.walk[peer.position];
+  --position_count_[ch][static_cast<std::size_t>(from)];
+
+  if (peer.position + 1 < peer.walk.size()) {
+    ++peer.position;
+    const int to = peer.walk[peer.position];
+    ++position_count_[ch][static_cast<std::size_t>(to)];
+    tracker_.record_transition(peer.channel, from, to);
+    begin_chunk(peer);
+  } else {
+    tracker_.record_transition(peer.channel, from, std::nullopt);
+    depart(peer);
+  }
+}
+
+void StreamingSystem::depart(Peer& peer) {
+  const auto ch = static_cast<std::size_t>(peer.channel);
+  for (int i = 0; i < num_chunks_; ++i) {
+    if (peer.owned[static_cast<std::size_t>(i)]) {
+      --owner_count_[ch][static_cast<std::size_t>(i)];
+    }
+  }
+  uplink_sum_[ch] -= peer.uplink;
+  members_[ch].erase(peer.id);
+  ++metrics_.counters.departures;
+  peers_.erase(peer.id);
+}
+
+// --- provisioning loop ------------------------------------------------------
+
+core::TrackerReport StreamingSystem::bootstrap_report() const {
+  // The provider's prior knowledge: true arrival rates at deployment time
+  // and the ground-truth viewing pattern (Sec. V-B's "empirical user scale
+  // and viewing pattern information").
+  core::TrackerReport report;
+  report.interval_start = sim_->now();
+  report.interval_length = options_.provisioning_interval;
+  report.channels.resize(static_cast<std::size_t>(num_channels_));
+  const workload::ViewingBehavior& behavior = workload_->config().behavior;
+  const util::Matrix transfer = behavior.transfer_matrix(num_chunks_);
+  const std::vector<double> entry = behavior.entry_distribution(num_chunks_);
+  const double uplink_mean = workload_->uplink_distribution().mean();
+  for (int c = 0; c < num_channels_; ++c) {
+    core::ChannelObservation& obs = report.channels[static_cast<std::size_t>(c)];
+    obs.arrival_rate = workload_->channel_rate(c, sim_->now());
+    obs.transfer = transfer;
+    obs.entry = entry;
+    obs.occupancy.assign(static_cast<std::size_t>(num_chunks_), 0.0);
+    obs.served_cloud_bandwidth.assign(static_cast<std::size_t>(num_chunks_), 0.0);
+    obs.mean_peer_uplink = uplink_mean;
+  }
+  return report;
+}
+
+void StreamingSystem::run_provisioning(double now) {
+  const double interval = options_.provisioning_interval;
+
+  std::vector<std::vector<double>> occupancy(
+      static_cast<std::size_t>(num_channels_),
+      std::vector<double>(static_cast<std::size_t>(num_chunks_), 0.0));
+  std::vector<double> mean_uplink(static_cast<std::size_t>(num_channels_), 0.0);
+  std::vector<std::vector<double>> served(
+      static_cast<std::size_t>(num_channels_),
+      std::vector<double>(static_cast<std::size_t>(num_chunks_), 0.0));
+
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    for (int i = 0; i < num_chunks_; ++i) {
+      occupancy[ch][static_cast<std::size_t>(i)] =
+          static_cast<double>(position_count_[ch][static_cast<std::size_t>(i)]);
+      ServicePool& p = pool(c, i);
+      p.sync();
+      const std::size_t key = pool_index(c, i);
+      served[ch][static_cast<std::size_t>(i)] =
+          (p.cloud_bytes_served() - served_cloud_snapshot_[key]) / interval;
+      served_cloud_snapshot_[key] = p.cloud_bytes_served();
+    }
+    mean_uplink[ch] = members_[ch].empty()
+                          ? workload_->uplink_distribution().mean()
+                          : uplink_sum_[ch] / static_cast<double>(members_[ch].size());
+  }
+
+  const core::TrackerReport report =
+      tracker_.harvest(now - interval, interval, occupancy, mean_uplink, served);
+  const core::ProvisioningPlan plan = controller_->plan(report);
+  apply_plan(plan);
+  record_plan_series(now);
+}
+
+void StreamingSystem::apply_plan(const core::ProvisioningPlan& plan) {
+  if (!cloud_->submit_plan(plan, num_channels_, num_chunks_)) {
+    ++metrics_.counters.rejected_plans;
+    CM_LOG(kWarn) << "cloud rejected provisioning plan at t=" << sim_->now();
+    return;
+  }
+  last_plan_ = std::make_shared<core::ProvisioningPlan>(plan);
+  // Pool capacities refresh through the VM scheduler's listener.
+
+  // Refresh the entry point's port-forwarding table onto the provisioned
+  // instances (Sec. V-B: verified requests are "forwarded to the VMs in
+  // the cloud ... using the port-forwarding technique").
+  const std::vector<int>& ports = entry_point_.config().ports;
+  const std::size_t vm_count = plan.instances.instances.size();
+  for (std::size_t k = 0; k < ports.size(); ++k) {
+    if (vm_count == 0) {
+      entry_point_.unmap_port(ports[k]);
+    } else {
+      entry_point_.map_port(ports[k], static_cast<int>(k % vm_count));
+    }
+  }
+}
+
+void StreamingSystem::record_plan_series(double now) {
+  if (!last_plan_) return;
+  const core::ProvisioningPlan& plan = *last_plan_;
+  metrics_.vm_cost_rate.add(now, cloud_->vm_cost_rate());
+  metrics_.storage_cost_rate.add(now, cloud_->storage_cost_rate());
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    ChannelSeries& series = metrics_.channels[ch];
+    double provisioned = 0.0;
+    for (double b : plan.chunk_cloud_bandwidth[ch]) provisioned += b;
+    series.provisioned_mbps.add(now, util::to_mbps(provisioned));
+    series.storage_utility.add(
+        now, core::channel_storage_utility(plan.storage_problem, plan.storage, c));
+    series.vm_utility.add(now,
+                          core::channel_vm_utility(plan.vm_problem, plan.vm, c));
+  }
+}
+
+void StreamingSystem::rebalance_capacity() {
+  // Two re-splits per channel, mirroring the real schedulers:
+  //  - Cloud: a VM serves whichever of its (consecutive) chunks is being
+  //    requested (Sec. V-A2), so the channel's planned cloud bandwidth is
+  //    re-split across chunks in proportion to active requests, with a
+  //    small standby weight so fresh requests are never starved until the
+  //    next tick.
+  //  - Peers (P2P mode): rarest-first allocation of owners' uplinks to
+  //    active demand (Sec. IV-C), residual split as standby over owned
+  //    chunks.
+  const double r = params_.streaming_rate;
+  std::vector<std::uint64_t> channel_peers;
+  std::vector<double> remaining;
+
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+
+    // --- cloud share: follow current requests --------------------------
+    double channel_cloud = 0.0;
+    double weight_total = 0.0;
+    std::vector<double> weight(static_cast<std::size_t>(num_chunks_), 0.0);
+    for (int i = 0; i < num_chunks_; ++i) {
+      channel_cloud += cloud_->chunk_capacity(c, i);
+      const double w =
+          static_cast<double>(pools_[pool_index(c, i)]->active_jobs()) +
+          options_.standby_weight;
+      weight[static_cast<std::size_t>(i)] = w;
+      weight_total += w;
+    }
+    std::vector<double> cloud_alloc(static_cast<std::size_t>(num_chunks_), 0.0);
+    if (channel_cloud > 0.0 && weight_total > 0.0) {
+      for (int i = 0; i < num_chunks_; ++i) {
+        cloud_alloc[static_cast<std::size_t>(i)] =
+            channel_cloud * weight[static_cast<std::size_t>(i)] / weight_total;
+      }
+    }
+
+    // --- peer share: rarest-first waterfall (P2P only) ------------------
+    std::vector<double> peer_alloc(static_cast<std::size_t>(num_chunks_), 0.0);
+    if (options_.mode == core::StreamingMode::kP2p && !members_[ch].empty()) {
+      channel_peers.assign(members_[ch].begin(), members_[ch].end());
+      // Deterministic iteration order regardless of hash-set layout.
+      std::sort(channel_peers.begin(), channel_peers.end());
+      remaining.assign(channel_peers.size(), 0.0);
+      for (std::size_t p = 0; p < channel_peers.size(); ++p) {
+        remaining[p] = peers_.at(channel_peers[p]).uplink;
+      }
+
+      // Chunks by rareness (ascending owner count).
+      std::vector<int> order(static_cast<std::size_t>(num_chunks_));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return owner_count_[ch][static_cast<std::size_t>(a)] <
+               owner_count_[ch][static_cast<std::size_t>(b)];
+      });
+
+      for (int chunk : order) {
+        const auto ck = static_cast<std::size_t>(chunk);
+        const double demand =
+            static_cast<double>(pools_[pool_index(c, chunk)]->active_jobs()) * r;
+        if (demand <= 0.0 || owner_count_[ch][ck] == 0) continue;
+        double available = 0.0;
+        for (std::size_t p = 0; p < channel_peers.size(); ++p) {
+          if (peers_.at(channel_peers[p]).owned[ck]) available += remaining[p];
+        }
+        if (available <= 0.0) continue;
+        const double supply = std::min(demand, available);
+        const double keep = 1.0 - supply / available;
+        for (std::size_t p = 0; p < channel_peers.size(); ++p) {
+          if (peers_.at(channel_peers[p]).owned[ck]) remaining[p] *= keep;
+        }
+        peer_alloc[ck] = supply;
+      }
+
+      // Standby: split each peer's residual upload evenly over its chunks.
+      for (std::size_t p = 0; p < channel_peers.size(); ++p) {
+        if (remaining[p] <= 0.0) continue;
+        const Peer& peer = peers_.at(channel_peers[p]);
+        const int owned = std::accumulate(peer.owned.begin(), peer.owned.end(), 0);
+        if (owned == 0) continue;
+        const double share = remaining[p] / static_cast<double>(owned);
+        for (int i = 0; i < num_chunks_; ++i) {
+          if (peer.owned[static_cast<std::size_t>(i)]) {
+            peer_alloc[static_cast<std::size_t>(i)] += share;
+          }
+        }
+      }
+    }
+
+    for (int i = 0; i < num_chunks_; ++i) {
+      const std::size_t key = pool_index(c, i);
+      peer_capacity_[key] = peer_alloc[static_cast<std::size_t>(i)];
+      pools_[key]->set_capacity(peer_capacity_[key],
+                                cloud_alloc[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+// --- metrics ---------------------------------------------------------------
+
+double StreamingSystem::cloud_rate_now() const {
+  double rate = 0.0;
+  for (const auto& p : pools_) rate += p->cloud_rate();
+  return rate;
+}
+
+double StreamingSystem::peer_rate_now() const {
+  double rate = 0.0;
+  for (const auto& p : pools_) rate += p->peer_rate();
+  return rate;
+}
+
+void StreamingSystem::sample_bandwidth(double now) {
+  metrics_.reserved_mbps.add(now, util::to_mbps(cloud_->reserved_bandwidth()));
+  metrics_.used_cloud_mbps.add(now, util::to_mbps(cloud_rate_now()));
+  metrics_.used_peer_mbps.add(now, util::to_mbps(peer_rate_now()));
+  metrics_.concurrent_users.add(now, static_cast<double>(peers_.size()));
+  for (int c = 0; c < num_channels_; ++c) {
+    metrics_.channels[static_cast<std::size_t>(c)].size.add(
+        now, static_cast<double>(members_[static_cast<std::size_t>(c)].size()));
+  }
+}
+
+bool StreamingSystem::peer_is_smooth(const Peer& peer) const {
+  const double now = sim_->now();
+  if (peer.last_late > now - options_.quality_window) return false;
+  // An in-flight download already past its deadline is a stall in progress.
+  if (peer.downloading && now - peer.download_start > params_.chunk_duration) {
+    return false;
+  }
+  return true;
+}
+
+double StreamingSystem::system_quality_now() const {
+  if (peers_.empty()) return 1.0;
+  std::size_t smooth = 0;
+  for (const auto& [id, peer] : peers_) {
+    if (peer_is_smooth(peer)) ++smooth;
+  }
+  return static_cast<double>(smooth) / static_cast<double>(peers_.size());
+}
+
+double StreamingSystem::channel_quality_now(int channel) const {
+  const auto ch = static_cast<std::size_t>(channel);
+  if (members_[ch].empty()) return 1.0;
+  std::size_t smooth = 0;
+  for (std::uint64_t id : members_[ch]) {
+    if (peer_is_smooth(peers_.at(id))) ++smooth;
+  }
+  return static_cast<double>(smooth) / static_cast<double>(members_[ch].size());
+}
+
+void StreamingSystem::sample_quality(double now) {
+  metrics_.quality.add(now, system_quality_now());
+  for (int c = 0; c < num_channels_; ++c) {
+    metrics_.channels[static_cast<std::size_t>(c)].quality.add(
+        now, channel_quality_now(c));
+  }
+}
+
+std::size_t StreamingSystem::channel_users(int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  return members_[static_cast<std::size_t>(channel)].size();
+}
+
+int StreamingSystem::owner_count(int channel, int chunk) const {
+  return owner_count_[static_cast<std::size_t>(channel)]
+                     [static_cast<std::size_t>(chunk)];
+}
+
+int StreamingSystem::position_count(int channel, int chunk) const {
+  return position_count_[static_cast<std::size_t>(channel)]
+                        [static_cast<std::size_t>(chunk)];
+}
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cloud/cloud_service.h"
+#include "cloud/entry_point.h"
+#include "core/controller.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "vod/service_pool.h"
+#include "vod/tracker.h"
+#include "workload/scenario.h"
+
+namespace cloudmedia::vod {
+
+/// Runtime knobs of the emulated CloudMedia deployment.
+struct StreamingOptions {
+  core::StreamingMode mode = core::StreamingMode::kClientServer;
+  /// The paper runs the provisioning algorithm every T = 1 hour (Sec. V-B).
+  double provisioning_interval = 3600.0;
+  /// How often bandwidth is re-split across a channel's chunks: the cloud
+  /// share follows current requests (VMs serve whichever of their chunks
+  /// is asked for, Sec. V-A2), and in P2P mode peer upload follows the
+  /// rarest-first scheduler (Sec. IV-C).
+  double rebalance_interval = 30.0;
+  /// Standby weight an idle chunk keeps when the channel's cloud bandwidth
+  /// is re-split (so a fresh request is not starved until the next tick).
+  double standby_weight = 0.25;
+  /// Bandwidth / population sampling cadence for the metrics series.
+  double sample_interval = 60.0;
+  /// Streaming quality is "the percentage of users ... with smooth
+  /// playback in the past 5 minutes" (Sec. VI-B).
+  double quality_interval = 300.0;
+  double quality_window = 300.0;
+  /// Issue an initial plan at t = 0 from the provider's prior knowledge
+  /// (ground-truth arrival rates), as the paper's provider does when first
+  /// deploying ("based on the application's empirical user scale and
+  /// viewing pattern information", Sec. V-B).
+  bool bootstrap_plan = true;
+  /// The cloud's public access point (Sec. V-B): referral tickets and the
+  /// port-forwarding table, exercised on every chunk request that needs
+  /// cloud service. Pure admission accounting — bandwidth is unaffected.
+  cloud::EntryPointConfig entry;
+};
+
+/// One peer (VoD user). Owned chunks stay buffered until departure
+/// (Sec. III-B: the playback buffer caches any one video entirely).
+struct Peer {
+  std::uint64_t id = 0;
+  int channel = 0;
+  double uplink = 0.0;          ///< bytes/s contributed in P2P mode
+  double arrival_time = 0.0;
+  std::vector<int> walk;        ///< predetermined chunk walk
+  std::size_t position = 0;     ///< index into walk
+  std::vector<bool> owned;      ///< buffered chunks
+  double last_late = -1e300;    ///< completion time of last late retrieval
+  bool downloading = false;
+  double download_start = 0.0;
+};
+
+/// Per-channel metric series (the scatter sources for Figs. 6–9).
+struct ChannelSeries {
+  util::TimeSeries size;               ///< concurrent users
+  util::TimeSeries quality;            ///< smooth fraction
+  util::TimeSeries provisioned_mbps;   ///< cloud bandwidth assigned
+  util::TimeSeries storage_utility;    ///< Σ u_f Δ_i x_if (Fig. 8)
+  util::TimeSeries vm_utility;         ///< Σ ũ_v z_iv (Fig. 9)
+};
+
+struct SystemCounters {
+  long arrivals = 0;
+  long departures = 0;
+  long chunk_downloads = 0;
+  long late_downloads = 0;
+  long buffered_replays = 0;  ///< revisits served from the local buffer
+  long rejected_plans = 0;    ///< SLA-rejected submissions
+};
+
+struct SystemMetrics {
+  util::TimeSeries reserved_mbps;      ///< billed cloud bandwidth (Fig. 4)
+  util::TimeSeries used_cloud_mbps;    ///< instantaneous cloud rate (Fig. 4)
+  util::TimeSeries used_peer_mbps;     ///< instantaneous peer rate
+  util::TimeSeries quality;            ///< system smooth fraction (Fig. 5)
+  util::TimeSeries vm_cost_rate;       ///< $/h (Fig. 10)
+  util::TimeSeries storage_cost_rate;  ///< $/h
+  util::TimeSeries concurrent_users;
+  std::vector<ChannelSeries> channels;
+  SystemCounters counters;
+};
+
+/// The full CloudMedia system (Fig. 3): user swarms and P2P overlays on one
+/// side, the cloud infrastructure on the other, the tracker + controller
+/// loop in between. Deterministic for a given Workload seed.
+class StreamingSystem {
+ public:
+  StreamingSystem(sim::Simulator& simulator, const workload::Workload& workload,
+                  core::VodParameters params, cloud::CloudService& cloud,
+                  std::unique_ptr<core::Controller> controller,
+                  StreamingOptions options);
+
+  /// Schedule arrival streams and periodic tasks. Call once, then drive the
+  /// simulator (sim.run_until(...)).
+  void start();
+
+  [[nodiscard]] const SystemMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] SystemMetrics& metrics() noexcept { return metrics_; }
+
+  // --- introspection (tests, benches) -----------------------------------
+  [[nodiscard]] std::size_t current_users() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::size_t channel_users(int channel) const;
+  [[nodiscard]] int owner_count(int channel, int chunk) const;
+  [[nodiscard]] int position_count(int channel, int chunk) const;
+  [[nodiscard]] ServicePool& pool(int channel, int chunk);
+  [[nodiscard]] Tracker& tracker() noexcept { return tracker_; }
+  [[nodiscard]] cloud::EntryPoint& entry_point() noexcept { return entry_point_; }
+  [[nodiscard]] const cloud::EntryPoint& entry_point() const noexcept {
+    return entry_point_;
+  }
+  [[nodiscard]] const core::ProvisioningPlan* last_plan() const noexcept {
+    return last_plan_ ? last_plan_.get() : nullptr;
+  }
+  /// Instantaneous smooth-playback fraction (1.0 when no users).
+  [[nodiscard]] double system_quality_now() const;
+  [[nodiscard]] double channel_quality_now(int channel) const;
+  /// Sum of instantaneous cloud rates across pools (bytes/s).
+  [[nodiscard]] double cloud_rate_now() const;
+  [[nodiscard]] double peer_rate_now() const;
+
+ private:
+  void schedule_next_arrival(int channel);
+  void handle_arrival(int channel, double time);
+  void begin_chunk(Peer& peer);
+  void handle_completion(int channel, int chunk,
+                         const ServicePool::Completion& completion);
+  void handle_dwell_end(std::uint64_t peer_id);
+  void advance_walk(Peer& peer);
+  void depart(Peer& peer);
+
+  void run_provisioning(double now);
+  [[nodiscard]] core::TrackerReport bootstrap_report() const;
+  void apply_plan(const core::ProvisioningPlan& plan);
+  void record_plan_series(double now);
+  void rebalance_capacity();
+  void sample_bandwidth(double now);
+  void sample_quality(double now);
+
+  [[nodiscard]] std::size_t pool_index(int channel, int chunk) const;
+  [[nodiscard]] bool peer_is_smooth(const Peer& peer) const;
+
+  sim::Simulator* sim_;
+  const workload::Workload* workload_;
+  core::VodParameters params_;
+  cloud::CloudService* cloud_;
+  std::unique_ptr<core::Controller> controller_;
+  StreamingOptions options_;
+
+  int num_channels_;
+  int num_chunks_;
+
+  std::vector<std::unique_ptr<ServicePool>> pools_;  ///< C × J
+  std::vector<double> peer_capacity_;                ///< current P2P share per pool
+  std::vector<double> served_cloud_snapshot_;        ///< bytes at interval start
+
+  Tracker tracker_;
+  cloud::EntryPoint entry_point_;
+  std::unordered_map<std::uint64_t, Peer> peers_;
+  std::vector<std::unordered_set<std::uint64_t>> members_;  ///< per channel
+  std::vector<std::vector<int>> owner_count_;               ///< [channel][chunk]
+  std::vector<std::vector<int>> position_count_;            ///< [channel][chunk]
+  std::vector<double> uplink_sum_;                          ///< per channel
+
+  std::vector<workload::PoissonArrivals> arrivals_;
+  std::vector<std::uint64_t> next_user_index_;
+  std::vector<double> last_arrival_time_;
+  std::uint64_t next_peer_id_ = 1;
+
+  std::shared_ptr<core::ProvisioningPlan> last_plan_;
+  SystemMetrics metrics_;
+  bool started_ = false;
+};
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,123 @@
+#include "vod/tracker.h"
+
+#include "util/check.h"
+
+namespace cloudmedia::vod {
+
+Tracker::Tracker(int num_channels, int num_chunks)
+    : num_channels_(num_channels), num_chunks_(num_chunks) {
+  CM_EXPECTS(num_channels >= 1);
+  CM_EXPECTS(num_chunks >= 1);
+  counts_.resize(static_cast<std::size_t>(num_channels));
+  for (ChannelCounts& c : counts_) {
+    c.entries.assign(static_cast<std::size_t>(num_chunks), 0);
+    c.transitions.assign(static_cast<std::size_t>(num_chunks),
+                         std::vector<long>(static_cast<std::size_t>(num_chunks), 0));
+    c.leaves.assign(static_cast<std::size_t>(num_chunks), 0);
+  }
+}
+
+Tracker::ChannelCounts& Tracker::channel(int c) {
+  CM_EXPECTS(c >= 0 && c < num_channels_);
+  return counts_[static_cast<std::size_t>(c)];
+}
+
+const Tracker::ChannelCounts& Tracker::channel(int c) const {
+  CM_EXPECTS(c >= 0 && c < num_channels_);
+  return counts_[static_cast<std::size_t>(c)];
+}
+
+void Tracker::record_arrival(int channel_id, int entry_chunk) {
+  CM_EXPECTS(entry_chunk >= 0 && entry_chunk < num_chunks_);
+  ChannelCounts& c = channel(channel_id);
+  ++c.arrivals;
+  ++c.entries[static_cast<std::size_t>(entry_chunk)];
+}
+
+void Tracker::record_transition(int channel_id, int from,
+                                std::optional<int> to) {
+  CM_EXPECTS(from >= 0 && from < num_chunks_);
+  ChannelCounts& c = channel(channel_id);
+  if (to) {
+    CM_EXPECTS(*to >= 0 && *to < num_chunks_);
+    ++c.transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(*to)];
+  } else {
+    ++c.leaves[static_cast<std::size_t>(from)];
+  }
+}
+
+core::TrackerReport Tracker::harvest(
+    double interval_start, double interval_length,
+    const std::vector<std::vector<double>>& occupancy,
+    const std::vector<double>& mean_uplink,
+    const std::vector<std::vector<double>>& served_cloud_bandwidth) {
+  CM_EXPECTS(interval_length > 0.0);
+  CM_EXPECTS(occupancy.size() == static_cast<std::size_t>(num_channels_));
+  CM_EXPECTS(mean_uplink.size() == static_cast<std::size_t>(num_channels_));
+  CM_EXPECTS(served_cloud_bandwidth.size() ==
+             static_cast<std::size_t>(num_channels_));
+
+  const auto j = static_cast<std::size_t>(num_chunks_);
+  core::TrackerReport report;
+  report.interval_start = interval_start;
+  report.interval_length = interval_length;
+  report.channels.resize(static_cast<std::size_t>(num_channels_));
+
+  for (int ch = 0; ch < num_channels_; ++ch) {
+    ChannelCounts& c = channel(ch);
+    core::ChannelObservation& obs =
+        report.channels[static_cast<std::size_t>(ch)];
+
+    obs.arrival_rate = static_cast<double>(c.arrivals) / interval_length;
+
+    obs.entry.assign(j, 0.0);
+    if (c.arrivals > 0) {
+      for (std::size_t i = 0; i < j; ++i) {
+        obs.entry[i] = static_cast<double>(c.entries[i]) /
+                       static_cast<double>(c.arrivals);
+      }
+    } else {
+      // No arrivals: the entry distribution is moot (Λ̂ = 0); keep it a
+      // valid distribution for the traffic equations.
+      obs.entry[0] = 1.0;
+    }
+
+    obs.transfer = util::Matrix(j, j);
+    for (std::size_t from = 0; from < j; ++from) {
+      long row_total = c.leaves[from];
+      for (std::size_t to = 0; to < j; ++to) row_total += c.transitions[from][to];
+      if (row_total == 0) continue;  // unobserved chunk: row stays zero
+      for (std::size_t to = 0; to < j; ++to) {
+        obs.transfer(from, to) = static_cast<double>(c.transitions[from][to]) /
+                                 static_cast<double>(row_total);
+      }
+    }
+
+    obs.occupancy = occupancy[static_cast<std::size_t>(ch)];
+    obs.mean_peer_uplink = mean_uplink[static_cast<std::size_t>(ch)];
+    obs.served_cloud_bandwidth =
+        served_cloud_bandwidth[static_cast<std::size_t>(ch)];
+
+    // Reset for the next interval.
+    c.arrivals = 0;
+    std::fill(c.entries.begin(), c.entries.end(), 0L);
+    std::fill(c.leaves.begin(), c.leaves.end(), 0L);
+    for (auto& row : c.transitions) std::fill(row.begin(), row.end(), 0L);
+  }
+  return report;
+}
+
+long Tracker::arrivals(int channel_id) const { return channel(channel_id).arrivals; }
+
+long Tracker::transitions(int channel_id, int from, int to) const {
+  CM_EXPECTS(from >= 0 && from < num_chunks_ && to >= 0 && to < num_chunks_);
+  return channel(channel_id)
+      .transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+long Tracker::leaves(int channel_id, int from) const {
+  CM_EXPECTS(from >= 0 && from < num_chunks_);
+  return channel(channel_id).leaves[static_cast<std::size_t>(from)];
+}
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/controller.h"
+
+namespace cloudmedia::vod {
+
+/// The tracking server of Sec. V-B: besides brokering peer lists (implicit
+/// in our swarm state), it "summarizes the average user arrival rate Λ(c)
+/// to each channel ... as well as the viewing patterns P(c)ij" over each
+/// provisioning interval and reports them to the controller.
+///
+/// Counters accumulate between harvests; `harvest` converts them into a
+/// core::TrackerReport (empirical Λ̂, entry distribution, transfer matrix
+/// P̂) and resets them for the next interval.
+class Tracker {
+ public:
+  Tracker(int num_channels, int num_chunks);
+
+  void record_arrival(int channel, int entry_chunk);
+  /// `to` empty = the user left the channel after `from`.
+  void record_transition(int channel, int from, std::optional<int> to);
+
+  /// Build the report for the interval [interval_start, interval_start +
+  /// interval_length) and reset counters. The caller supplies the
+  /// instantaneous snapshots the tracker cannot count by itself:
+  /// per-chunk occupancy, per-channel mean peer uplink, and the mean cloud
+  /// bandwidth served per chunk over the interval.
+  [[nodiscard]] core::TrackerReport harvest(
+      double interval_start, double interval_length,
+      const std::vector<std::vector<double>>& occupancy,
+      const std::vector<double>& mean_uplink,
+      const std::vector<std::vector<double>>& served_cloud_bandwidth);
+
+  [[nodiscard]] long arrivals(int channel) const;
+  [[nodiscard]] long transitions(int channel, int from, int to) const;
+  [[nodiscard]] long leaves(int channel, int from) const;
+  [[nodiscard]] int num_channels() const noexcept { return num_channels_; }
+  [[nodiscard]] int num_chunks() const noexcept { return num_chunks_; }
+
+ private:
+  struct ChannelCounts {
+    long arrivals = 0;
+    std::vector<long> entries;                  ///< per entry chunk
+    std::vector<std::vector<long>> transitions; ///< [from][to]
+    std::vector<long> leaves;                   ///< per from-chunk
+  };
+
+  [[nodiscard]] ChannelCounts& channel(int c);
+  [[nodiscard]] const ChannelCounts& channel(int c) const;
+
+  int num_channels_;
+  int num_chunks_;
+  std::vector<ChannelCounts> counts_;
+};
+
+}  // namespace cloudmedia::vod

@@ -1,0 +1,91 @@
+#include "workload/scenario.h"
+
+#include "util/check.h"
+#include "util/matrix.h"
+
+namespace cloudmedia::workload {
+
+namespace {
+// RNG stream purposes; arbitrary distinct constants.
+constexpr std::uint64_t kPurposeArrivals = 0xA771;
+constexpr std::uint64_t kPurposeSession = 0x5E55;
+
+BoundedPareto make_uplink(const WorkloadConfig& cfg) {
+  BoundedPareto raw(cfg.uplink_lower, cfg.uplink_upper, cfg.uplink_shape);
+  if (cfg.uplink_mean_ratio <= 0.0) return raw;
+  return raw.scaled_to_mean(cfg.uplink_mean_ratio * cfg.streaming_rate);
+}
+}  // namespace
+
+void WorkloadConfig::validate() const {
+  CM_EXPECTS(num_channels >= 1);
+  CM_EXPECTS(chunks_per_video >= 1);
+  CM_EXPECTS(zipf_exponent >= 0.0);
+  CM_EXPECTS(total_arrival_rate > 0.0);
+  CM_EXPECTS(uplink_lower > 0.0 && uplink_upper > uplink_lower);
+  CM_EXPECTS(uplink_shape > 0.0);
+  CM_EXPECTS(streaming_rate > 0.0);
+  behavior.validate();
+}
+
+Workload::Workload(WorkloadConfig config, std::uint64_t seed)
+    : config_(config),
+      root_(seed),
+      weights_(zipf_weights(config.num_channels, config.zipf_exponent)),
+      uplink_(make_uplink(config)),
+      session_gen_(config.behavior, config.chunks_per_video) {
+  config_.validate();
+}
+
+double Workload::channel_rate(int channel, double t) const {
+  CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
+  return config_.total_arrival_rate *
+         weights_[static_cast<std::size_t>(channel)] *
+         config_.diurnal.multiplier(t);
+}
+
+double Workload::channel_max_rate(int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
+  return config_.total_arrival_rate *
+         weights_[static_cast<std::size_t>(channel)] *
+         config_.diurnal.max_multiplier();
+}
+
+PoissonArrivals Workload::make_arrivals(int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
+  return PoissonArrivals(
+      [this, channel](double t) { return channel_rate(channel, t); },
+      channel_max_rate(channel),
+      root_.derive(kPurposeArrivals, static_cast<std::uint64_t>(channel)));
+}
+
+SessionScript Workload::make_session(int channel,
+                                     std::uint64_t user_index) const {
+  CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
+  // One derived stream per (channel, user ordinal): the walk and uplink of
+  // the k-th arrival to a channel do not depend on anything else.
+  util::Rng rng = root_.derive(
+      kPurposeSession,
+      (static_cast<std::uint64_t>(channel) << 40) ^ user_index);
+  SessionScript script;
+  script.channel = channel;
+  script.chunks = session_gen_.sample_walk(rng);
+  script.uplink = uplink_.sample(rng);
+  return script;
+}
+
+double Workload::expected_session_chunks() const {
+  const int j = config_.chunks_per_video;
+  const util::Matrix p = config_.behavior.transfer_matrix(j);
+  const std::vector<double> entry = config_.behavior.entry_distribution(j);
+  // Expected visits v solves v = entry + Pᵀ v  (absorbing-chain identity).
+  util::Matrix a = util::Matrix::identity(static_cast<std::size_t>(j));
+  const util::Matrix pt = p.transpose();
+  a -= pt;
+  std::vector<double> visits = util::solve_linear_system(a, entry);
+  double total = 0.0;
+  for (double v : visits) total += v;
+  return total;
+}
+
+}  // namespace cloudmedia::workload

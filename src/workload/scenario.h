@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/viewing.h"
+
+namespace cloudmedia::workload {
+
+/// Everything that defines the user-side workload of a multi-channel VoD
+/// deployment, with defaults from the paper's experimental settings
+/// (Sec. VI-A): 20 Zipf-popular channels, ~2500 average concurrent users,
+/// diurnal arrivals with two flash crowds, 15-minute mean seek interval,
+/// bounded-Pareto peer uplinks.
+struct WorkloadConfig {
+  int num_channels = 20;
+  int chunks_per_video = 20;
+  double zipf_exponent = 1.0;
+  /// Aggregate external arrival rate (users/s) when the diurnal multiplier
+  /// is 1. With the default behaviour (mean session ≈ 8 chunks ≈ 40 min)
+  /// 1.0 user/s sustains ≈ 2400 concurrent users, the paper's scale.
+  double total_arrival_rate = 1.0;
+  DiurnalPattern diurnal = DiurnalPattern::paper_default();
+  ViewingBehavior behavior;
+  /// Peer uplink distribution (bytes/s). Paper: Pareto on [180 kbps,
+  /// 10 Mbps], shape 3.
+  double uplink_lower = 22'500.0;    // 180 kbps
+  double uplink_upper = 1'250'000.0; // 10 Mbps
+  double uplink_shape = 3.0;
+  /// If > 0, rescale the uplink distribution so its mean equals
+  /// `uplink_mean_ratio * streaming_rate`. This is the Fig.-11 knob; see
+  /// DESIGN.md for why the paper's literal Pareto parameters are rescaled.
+  double uplink_mean_ratio = 1.0;
+  double streaming_rate = 50'000.0;  // bytes/s; r = 400 kbps
+
+  void validate() const;
+};
+
+/// Deterministic workload: per-channel arrival streams and per-user session
+/// scripts, all derived from (seed, purpose, entity id) RNG streams so two
+/// systems consuming the same Workload observe identical users.
+class Workload {
+ public:
+  Workload(WorkloadConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int num_channels() const noexcept { return config_.num_channels; }
+  [[nodiscard]] const std::vector<double>& channel_weights() const noexcept {
+    return weights_;
+  }
+
+  /// Instantaneous external arrival rate of channel c at time t.
+  [[nodiscard]] double channel_rate(int channel, double t) const;
+  /// Envelope for thinning.
+  [[nodiscard]] double channel_max_rate(int channel) const;
+
+  /// Arrival stream for a channel (independent derived RNG).
+  [[nodiscard]] PoissonArrivals make_arrivals(int channel) const;
+
+  /// Deterministic session for the `user_index`-th arrival of `channel`.
+  [[nodiscard]] SessionScript make_session(int channel,
+                                           std::uint64_t user_index) const;
+
+  [[nodiscard]] const BoundedPareto& uplink_distribution() const noexcept {
+    return uplink_;
+  }
+
+  /// Expected chunks watched per session, from the absorbing chain
+  /// E[visits] = entryᵀ (I − P)^{-1} 1. Used for calibration and tests.
+  [[nodiscard]] double expected_session_chunks() const;
+
+ private:
+  WorkloadConfig config_;
+  util::Rng root_;
+  std::vector<double> weights_;
+  BoundedPareto uplink_;
+  SessionGenerator session_gen_;
+};
+
+}  // namespace cloudmedia::workload

@@ -1,0 +1,165 @@
+// Tests for the cloud entry point (src/cloud/entry_point): Sec. V-B's
+// tracker referral 3-tuple <entry address, port list, ticket>, ticket
+// verification, and the port-forwarding table.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/entry_point.h"
+#include "util/check.h"
+
+namespace cloudmedia {
+namespace {
+
+cloud::EntryPointConfig small_config() {
+  cloud::EntryPointConfig cfg;
+  cfg.address = "entry.cloudmedia.test";
+  cfg.ports = {9000, 9001, 9002};
+  cfg.ports_per_referral = 2;
+  cfg.ticket_lifetime = 60.0;
+  return cfg;
+}
+
+TEST(EntryPointConfig, ValidationCatchesBadValues) {
+  cloud::EntryPointConfig cfg = small_config();
+  cfg.ports.clear();
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+  cfg = small_config();
+  cfg.ports_per_referral = 4;  // more than the pool
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+  cfg = small_config();
+  cfg.ports = {0};
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+  cfg = small_config();
+  cfg.ticket_lifetime = 0.0;
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+}
+
+TEST(EntryPoint, ReferralCarriesAddressPortsAndTicket) {
+  cloud::EntryPoint entry(small_config());
+  const cloud::CloudReferral referral = entry.issue(0.0);
+  EXPECT_EQ(referral.entry_address, "entry.cloudmedia.test");
+  EXPECT_EQ(referral.ports.size(), 2u);
+  EXPECT_NE(referral.ticket, 0u);
+  EXPECT_EQ(entry.issued(), 1);
+  EXPECT_EQ(entry.outstanding(), 1u);
+}
+
+TEST(EntryPoint, PortsRotateRoundRobinAcrossReferrals) {
+  cloud::EntryPoint entry(small_config());
+  const auto a = entry.issue(0.0);
+  const auto b = entry.issue(0.0);
+  const auto c = entry.issue(0.0);
+  EXPECT_EQ(a.ports, (std::vector<int>{9000, 9001}));
+  EXPECT_EQ(b.ports, (std::vector<int>{9002, 9000}));
+  EXPECT_EQ(c.ports, (std::vector<int>{9001, 9002}));
+}
+
+TEST(EntryPoint, TicketsAreUniqueAcrossManyReferrals) {
+  cloud::EntryPoint entry(small_config());
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 10'000; ++k) {
+    const auto referral = entry.issue(0.0);
+    EXPECT_TRUE(seen.insert(referral.ticket).second) << "k=" << k;
+  }
+}
+
+TEST(EntryPoint, ValidTicketRedeemsExactlyOnce) {
+  cloud::EntryPoint entry(small_config());
+  const auto referral = entry.issue(10.0);
+  EXPECT_EQ(entry.redeem(referral.ticket, 20.0), cloud::TicketStatus::kValid);
+  EXPECT_EQ(entry.redeemed(), 1);
+  // Second use of the same ticket is refused (single-use referrals).
+  EXPECT_EQ(entry.redeem(referral.ticket, 21.0),
+            cloud::TicketStatus::kUnknown);
+  EXPECT_EQ(entry.refused(), 1);
+}
+
+TEST(EntryPoint, ForgedTicketIsRefused) {
+  cloud::EntryPoint entry(small_config());
+  (void)entry.issue(0.0);
+  EXPECT_EQ(entry.redeem(0xdeadbeef, 1.0), cloud::TicketStatus::kUnknown);
+  EXPECT_EQ(entry.redeemed(), 0);
+  EXPECT_EQ(entry.refused(), 1);
+}
+
+TEST(EntryPoint, ExpiredTicketIsRefusedAndRemoved) {
+  cloud::EntryPoint entry(small_config());  // lifetime 60 s
+  const auto referral = entry.issue(100.0);
+  EXPECT_EQ(entry.redeem(referral.ticket, 161.0),
+            cloud::TicketStatus::kExpired);
+  EXPECT_EQ(entry.outstanding(), 0u);
+  // And it cannot be replayed as unknown-then-valid.
+  EXPECT_EQ(entry.redeem(referral.ticket, 120.0),
+            cloud::TicketStatus::kUnknown);
+}
+
+TEST(EntryPoint, TicketAtExactLifetimeBoundaryIsValid) {
+  cloud::EntryPoint entry(small_config());
+  const auto referral = entry.issue(0.0);
+  EXPECT_EQ(entry.redeem(referral.ticket, 60.0), cloud::TicketStatus::kValid);
+}
+
+TEST(EntryPoint, SweepDropsOnlyExpiredTickets) {
+  cloud::EntryPoint entry(small_config());
+  (void)entry.issue(0.0);
+  const auto fresh = entry.issue(50.0);
+  entry.sweep(100.0);  // first ticket (issued at 0, lifetime 60) expires
+  EXPECT_EQ(entry.outstanding(), 1u);
+  EXPECT_EQ(entry.redeem(fresh.ticket, 100.0), cloud::TicketStatus::kValid);
+}
+
+TEST(EntryPoint, IssueSweepsExpiredTicketsAutomatically) {
+  cloud::EntryPoint entry(small_config());
+  (void)entry.issue(0.0);
+  (void)entry.issue(0.0);
+  (void)entry.issue(200.0);  // both earlier tickets are now expired
+  EXPECT_EQ(entry.outstanding(), 1u);
+}
+
+TEST(EntryPoint, BookIsBoundedByMaxOutstanding) {
+  cloud::EntryPointConfig cfg = small_config();
+  cfg.max_outstanding = 8;
+  cloud::EntryPoint entry(cfg);
+  for (int k = 0; k < 100; ++k) (void)entry.issue(0.0);
+  EXPECT_LE(entry.outstanding(), 8u);
+  EXPECT_EQ(entry.issued(), 100);
+}
+
+TEST(PortForwarding, MapsAndUnmapsExternalPortsToVms) {
+  cloud::EntryPoint entry(small_config());
+  EXPECT_FALSE(entry.forward(9000).has_value());
+  entry.map_port(9000, 42);
+  entry.map_port(9001, 7);
+  ASSERT_TRUE(entry.forward(9000).has_value());
+  EXPECT_EQ(*entry.forward(9000), 42);
+  EXPECT_EQ(*entry.forward(9001), 7);
+  entry.unmap_port(9000);
+  EXPECT_FALSE(entry.forward(9000).has_value());
+  EXPECT_TRUE(entry.forward(9001).has_value());
+}
+
+TEST(PortForwarding, RemapOverwritesTheTarget) {
+  cloud::EntryPoint entry(small_config());
+  entry.map_port(9002, 1);
+  entry.map_port(9002, 2);
+  EXPECT_EQ(*entry.forward(9002), 2);
+}
+
+TEST(PortForwarding, RejectsPortsOutsideThePool) {
+  cloud::EntryPoint entry(small_config());
+  EXPECT_THROW(entry.map_port(1234, 0), util::PreconditionError);
+}
+
+TEST(TicketStatusName, AllValuesPrintable) {
+  EXPECT_EQ(cloud::to_string(cloud::TicketStatus::kValid), "valid");
+  EXPECT_EQ(cloud::to_string(cloud::TicketStatus::kUnknown), "unknown");
+  EXPECT_EQ(cloud::to_string(cloud::TicketStatus::kExpired), "expired");
+  EXPECT_EQ(cloud::to_string(cloud::TicketStatus::kAlreadyRedeemed),
+            "already-redeemed");
+}
+
+}  // namespace
+}  // namespace cloudmedia

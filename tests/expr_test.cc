@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "expr/flags.h"
+#include "expr/paper.h"
+#include "expr/report.h"
+
+namespace cloudmedia::expr {
+namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  const Flags f = make_flags({"--hours=24", "--seed=7"});
+  EXPECT_EQ(f.get("hours", 0.0), 24.0);
+  EXPECT_EQ(f.get("seed", 0), 7);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const Flags f = make_flags({"--hours", "12"});
+  EXPECT_EQ(f.get("hours", 0.0), 12.0);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_TRUE(f.get("verbose", false));
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get("hours", 100.0), 100.0);
+  EXPECT_EQ(f.get("name", std::string("x")), "x");
+  EXPECT_FALSE(f.get("flag", false));
+  EXPECT_EQ(f.get_ll("seed", 42), 42);
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make_flags({"--a=true"}).get("a", false));
+  EXPECT_TRUE(make_flags({"--a=1"}).get("a", false));
+  EXPECT_TRUE(make_flags({"--a=yes"}).get("a", false));
+  EXPECT_FALSE(make_flags({"--a=no"}).get("a", true));
+}
+
+TEST(Flags, RejectsPositionalArguments) {
+  EXPECT_THROW(make_flags({"positional"}), std::invalid_argument);
+}
+
+TEST(PaperConstants, MatchTheEvaluationSection) {
+  EXPECT_DOUBLE_EQ(paper::kQualityClientServer, 0.97);
+  EXPECT_DOUBLE_EQ(paper::kQualityP2p, 0.95);
+  EXPECT_DOUBLE_EQ(paper::kVmCostClientServer, 48.0);
+  EXPECT_DOUBLE_EQ(paper::kVmCostP2p, 4.27);
+  EXPECT_DOUBLE_EQ(paper::kStorageCostPerDay, 0.018);
+  EXPECT_DOUBLE_EQ(paper::kVmBootSeconds, 25.0);
+  EXPECT_EQ(paper::kFig11Ratios.size(), 3u);
+  EXPECT_DOUBLE_EQ(paper::kFig11Ratios[0], 0.9);
+  EXPECT_DOUBLE_EQ(paper::kFig11Quality[2], 1.0);
+}
+
+TEST(Report, PrintsAndWritesCsv) {
+  util::TimeSeries series;
+  for (int i = 0; i < 10; ++i) series.add(i * 600.0, static_cast<double>(i));
+  testing::internal::CaptureStdout();
+  print_series_table("demo", {{"value", &series}}, 0.0, 6000.0, 3600.0,
+                     "test_report_demo");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists("results/test_report_demo.csv"));
+  std::filesystem::remove("results/test_report_demo.csv");
+}
+
+TEST(Report, ComparisonLineFormatsBothSides) {
+  testing::internal::CaptureStdout();
+  print_paper_comparison("avg quality", 0.981, 0.97, "");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("0.981"), std::string::npos);
+  EXPECT_NE(out.find("0.970"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudmedia::expr

@@ -1,0 +1,158 @@
+// Tests for the geo-distributed federation (src/geo) — the paper's ongoing
+// work of "expanding to cloud systems spanning different geographic
+// locations" (Sec. VII).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/federation.h"
+#include "util/check.h"
+
+namespace cloudmedia {
+namespace {
+
+geo::FederationConfig tiny_federation(core::StreamingMode mode) {
+  geo::FederationConfig cfg = geo::FederationConfig::make_default(mode);
+  cfg.base.warmup_hours = 1.0;
+  cfg.base.measure_hours = 4.0;
+  cfg.base.workload.num_channels = 4;
+  cfg.base.workload.total_arrival_rate = 0.25;
+  cfg.base.seed = 7;
+  return cfg;
+}
+
+TEST(RegionSpec, ValidationCatchesBadRegions) {
+  geo::RegionSpec region{"", 0.0, 0.5, 1.0, 1.0};
+  EXPECT_THROW(region.validate(), util::PreconditionError);
+  region = {"x", 0.0, 0.0, 1.0, 1.0};
+  EXPECT_THROW(region.validate(), util::PreconditionError);
+  region = {"x", 0.0, 0.5, 0.0, 1.0};
+  EXPECT_THROW(region.validate(), util::PreconditionError);
+  region = {"x", 0.0, 0.5, 1.0, 1.0};
+  EXPECT_NO_THROW(region.validate());
+}
+
+TEST(FederationConfig, SharesMustPartitionTheAudience) {
+  geo::FederationConfig cfg =
+      geo::FederationConfig::make_default(core::StreamingMode::kClientServer);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.regions[0].audience_share = 0.5;  // now sums to 1.05
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+  cfg.regions.clear();
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+}
+
+TEST(FederationConfig, DefaultHasThreeStaggeredRegions) {
+  const geo::FederationConfig cfg =
+      geo::FederationConfig::make_default(core::StreamingMode::kP2p);
+  ASSERT_EQ(cfg.regions.size(), 3u);
+  double share = 0.0;
+  for (const geo::RegionSpec& region : cfg.regions) share += region.audience_share;
+  EXPECT_NEAR(share, 1.0, 1e-12);
+  // Offsets differ so the diurnal peaks stagger.
+  EXPECT_NE(cfg.regions[0].utc_offset_hours, cfg.regions[1].utc_offset_hours);
+  EXPECT_NE(cfg.regions[1].utc_offset_hours, cfg.regions[2].utc_offset_hours);
+}
+
+TEST(RegionalConfig, ScalesArrivalsAndPricesAndBudgets) {
+  geo::FederationConfig cfg = tiny_federation(core::StreamingMode::kP2p);
+  cfg.regions = {{"east", 0.0, 0.6, 1.0, 1.0}, {"west", -8.0, 0.4, 1.5, 2.0}};
+  cfg.budget_split = geo::BudgetSplit::kProportional;
+
+  const expr::ExperimentConfig west =
+      geo::FederationRunner::regional_config(cfg, 1);
+  EXPECT_NEAR(west.workload.total_arrival_rate,
+              cfg.base.workload.total_arrival_rate * 0.4, 1e-12);
+  EXPECT_NEAR(west.vm_budget_per_hour, cfg.base.vm_budget_per_hour * 0.4,
+              1e-12);
+  EXPECT_NEAR(west.storage_budget_per_hour,
+              cfg.base.storage_budget_per_hour * 0.4, 1e-12);
+  for (std::size_t v = 0; v < west.vm_clusters.size(); ++v) {
+    EXPECT_NEAR(west.vm_clusters[v].price_per_hour,
+                cfg.base.vm_clusters[v].price_per_hour * 1.5, 1e-12);
+  }
+  for (std::size_t f = 0; f < west.nfs_clusters.size(); ++f) {
+    EXPECT_NEAR(west.nfs_clusters[f].price_per_gb_hour,
+                cfg.base.nfs_clusters[f].price_per_gb_hour * 2.0, 1e-12);
+  }
+  EXPECT_NE(west.seed, cfg.base.seed);
+}
+
+TEST(RegionalConfig, UncoordinatedSplitKeepsFullBudgets) {
+  geo::FederationConfig cfg = tiny_federation(core::StreamingMode::kP2p);
+  cfg.budget_split = geo::BudgetSplit::kUncoordinated;
+  const expr::ExperimentConfig region =
+      geo::FederationRunner::regional_config(cfg, 1);
+  EXPECT_NEAR(region.vm_budget_per_hour, cfg.base.vm_budget_per_hour, 1e-12);
+}
+
+TEST(RegionalConfig, DiurnalPatternIsShiftedByUtcOffset) {
+  geo::FederationConfig cfg = tiny_federation(core::StreamingMode::kP2p);
+  cfg.regions = {{"ref", 0.0, 0.5, 1.0, 1.0}, {"west7", -7.0, 0.5, 1.0, 1.0}};
+  const expr::ExperimentConfig ref =
+      geo::FederationRunner::regional_config(cfg, 0);
+  const expr::ExperimentConfig west =
+      geo::FederationRunner::regional_config(cfg, 1);
+  // The west region sees the reference pattern 7 hours later.
+  for (double hour : {0.0, 6.0, 12.5, 20.5}) {
+    EXPECT_NEAR(west.workload.diurnal.multiplier((hour + 7.0) * 3600.0),
+                ref.workload.diurnal.multiplier(hour * 3600.0), 1e-9)
+        << "hour " << hour;
+  }
+}
+
+TEST(DiurnalShift, ShiftIsPeriodicAndInvertible) {
+  const workload::DiurnalPattern base = workload::DiurnalPattern::paper_default();
+  const workload::DiurnalPattern round_trip = base.shifted(31.0).shifted(-7.0);
+  for (double hour = 0.0; hour < 24.0; hour += 0.5) {
+    EXPECT_NEAR(round_trip.multiplier(hour * 3600.0),
+                base.multiplier(hour * 3600.0), 1e-9);
+  }
+}
+
+TEST(FederationRun, EndToEndAggregatesAreConsistent) {
+  geo::FederationConfig cfg = tiny_federation(core::StreamingMode::kP2p);
+  const geo::FederationResult result = geo::FederationRunner::run(cfg);
+
+  ASSERT_EQ(result.regions.size(), cfg.regions.size());
+  for (const geo::RegionResult& region : result.regions) {
+    EXPECT_GT(region.result.mean_quality(), 0.5) << region.spec.name;
+  }
+
+  // Global mean = Σ regional means; peak ≤ Σ regional peaks.
+  double sum_means = 0.0;
+  for (const geo::RegionResult& region : result.regions) {
+    sum_means += region.result.mean_vm_cost_rate();
+  }
+  EXPECT_NEAR(result.global_mean_cost(), sum_means, 1e-9);
+  EXPECT_LE(result.global_peak_cost(), result.sum_of_regional_peaks() + 1e-9);
+  EXPECT_GE(result.multiplexing_gain(), 1.0 - 1e-12);
+
+  // Quality summaries are proper averages/minima.
+  EXPECT_LE(result.min_quality(), result.weighted_quality() + 1e-12);
+  EXPECT_LE(result.weighted_quality(), 1.0);
+
+  // Cost series spans the measurement window hourly.
+  const util::TimeSeries series = result.global_cost_series();
+  EXPECT_EQ(series.size(),
+            static_cast<std::size_t>(std::lround(
+                (result.measure_end - result.measure_start) / 3600.0)));
+}
+
+TEST(FederationRun, DeterministicForAGivenSeed) {
+  geo::FederationConfig cfg = tiny_federation(core::StreamingMode::kP2p);
+  cfg.base.measure_hours = 2.0;
+  const geo::FederationResult a = geo::FederationRunner::run(cfg);
+  const geo::FederationResult b = geo::FederationRunner::run(cfg);
+  EXPECT_DOUBLE_EQ(a.global_mean_cost(), b.global_mean_cost());
+  EXPECT_DOUBLE_EQ(a.min_quality(), b.min_quality());
+}
+
+TEST(BudgetSplitName, RoundTrips) {
+  EXPECT_EQ(geo::to_string(geo::BudgetSplit::kUncoordinated), "uncoordinated");
+  EXPECT_EQ(geo::to_string(geo::BudgetSplit::kProportional), "proportional");
+}
+
+}  // namespace
+}  // namespace cloudmedia

@@ -1,0 +1,292 @@
+// Model-vs-system validation: the analytical formulas of Sec. IV checked
+// against direct stochastic simulation on our own event engine. This is
+// the reproduction's strongest evidence that the queueing core is right:
+// the Erlang/Jackson numbers and an independent discrete-event M/M/m match.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "core/erlang.h"
+#include "core/jackson.h"
+#include "core/p2p.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "vod/service_pool.h"
+#include "workload/viewing.h"
+
+namespace cloudmedia {
+namespace {
+
+/// Direct event-driven M/M/m queue: Poisson arrivals, exponential service,
+/// m servers, FIFO. Returns the time-averaged number in system.
+double simulate_mmm(double lambda, double mu, int servers, double horizon,
+                    std::uint64_t seed) {
+  sim::Simulator sim;
+  util::Rng arrivals_rng = util::Rng(seed).derive(1);
+  util::Rng service_rng = util::Rng(seed).derive(2);
+
+  int in_system = 0;
+  int busy = 0;
+  std::queue<int> waiting;  // tokens; FIFO
+  double area = 0.0;
+  double last = 0.0;
+
+  const auto account = [&] {
+    area += in_system * (sim.now() - last);
+    last = sim.now();
+  };
+
+  std::function<void()> start_service = [&] {
+    ++busy;
+    sim.schedule_in(service_rng.exponential(1.0 / mu), [&] {
+      account();
+      --in_system;
+      --busy;
+      if (!waiting.empty()) {
+        waiting.pop();
+        start_service();
+      }
+    });
+  };
+
+  std::function<void()> schedule_arrival = [&] {
+    sim.schedule_in(arrivals_rng.exponential(1.0 / lambda), [&] {
+      account();
+      ++in_system;
+      if (busy < servers) {
+        start_service();
+      } else {
+        waiting.push(0);
+      }
+      schedule_arrival();
+    });
+  };
+
+  schedule_arrival();
+  sim.run_until(horizon);
+  account();
+  return area / horizon;
+}
+
+class MmmValidation
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(MmmValidation, ErlangFormulaMatchesEventSimulation) {
+  const auto [lambda, mu, servers] = GetParam();
+  const double analytic =
+      core::mmm_metrics(lambda, mu, servers).expected_system;
+  // Long horizon + two seeds to keep flakiness negligible.
+  const double sim1 = simulate_mmm(lambda, mu, servers, 400'000.0 / lambda, 11);
+  const double sim2 = simulate_mmm(lambda, mu, servers, 400'000.0 / lambda, 12);
+  const double measured = 0.5 * (sim1 + sim2);
+  EXPECT_NEAR(measured / analytic, 1.0, 0.06)
+      << "lambda=" << lambda << " mu=" << mu << " m=" << servers
+      << " analytic=" << analytic << " measured=" << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MmmValidation,
+    ::testing::Values(std::make_tuple(0.5, 1.0, 1),    // M/M/1, rho=0.5
+                      std::make_tuple(0.9, 1.0, 1),    // M/M/1, rho=0.9
+                      std::make_tuple(1.6, 1.0, 2),    // M/M/2, rho=0.8
+                      std::make_tuple(4.0, 1.0, 5),    // M/M/5, rho=0.8
+                      std::make_tuple(2.0, 0.25, 12)   // paper-like a=8
+                      ));
+
+TEST(MmmValidation, SojournTargetHoldsInSimulation) {
+  // The paper's sizing promise: with m = min_servers(λ, µ, λT0) the
+  // simulated mean number in system is at most λT0 (mean sojourn <= T0).
+  const double lambda = 0.08;
+  const double mu = 1.0 / 12.0;  // paper service rate
+  const double t0 = 300.0;
+  const int m = core::min_servers(lambda, mu, lambda * t0);
+  const double measured = simulate_mmm(lambda, mu, m, 6e6, 21);
+  EXPECT_LE(measured, lambda * t0 * 1.05);
+}
+
+// ---------------------------------------------------------------- Jackson
+
+TEST(JacksonValidation, QueuePopulationsMatchTrafficEquations) {
+  // Simulate the open network directly: users walk the chunk chain per the
+  // behaviour model with ample service capacity (dwell T0 per chunk), and
+  // the measured per-chunk populations must match λ_i · T0.
+  const int j = 10;
+  const double t0 = 30.0;  // shortened chunk time for test speed
+  const double external = 0.8;
+  workload::ViewingBehavior behavior;
+  const util::Matrix transfer = behavior.transfer_matrix(j);
+  const std::vector<double> entry = behavior.entry_distribution(j);
+  const std::vector<double> lambdas =
+      core::solve_traffic_equations(transfer, entry, external);
+
+  sim::Simulator sim;
+  util::Rng rng(99);
+  std::vector<double> area(j, 0.0);
+  std::vector<int> population(j, 0);
+  double last = 0.0;
+  const auto account = [&] {
+    for (int i = 0; i < j; ++i) area[i] += population[i] * (sim.now() - last);
+    last = sim.now();
+  };
+
+  std::function<void(int)> enter = [&](int chunk) {
+    account();
+    ++population[chunk];
+    sim.schedule_in(t0, [&, chunk] {
+      account();
+      --population[chunk];
+      const auto next = behavior.sample_next(chunk, j, rng);
+      if (next) enter(*next);
+    });
+  };
+  std::function<void()> arrive = [&] {
+    sim.schedule_in(rng.exponential(1.0 / external), [&] {
+      enter(behavior.sample_entry(j, rng));
+      arrive();
+    });
+  };
+  arrive();
+  const double horizon = 200'000.0;
+  sim.run_until(horizon);
+  account();
+
+  for (int i = 0; i < j; ++i) {
+    const double measured = area[i] / horizon;
+    const double predicted = lambdas[static_cast<std::size_t>(i)] * t0;
+    EXPECT_NEAR(measured / predicted, 1.0, 0.08)
+        << "chunk " << i << ": measured " << measured << " predicted "
+        << predicted;
+  }
+}
+
+TEST(JacksonValidation, OwnershipMatchesProposition1) {
+  // Same walk simulation, now tracking who owns chunk 0 while sitting in
+  // queue j — the quantity Proposition 1 predicts (ν_0j fixed point).
+  const int j = 6;
+  const double t0 = 20.0;
+  const double external = 1.0;
+  workload::ViewingBehavior behavior;
+  const util::Matrix transfer = behavior.transfer_matrix(j);
+  const std::vector<double> entry = behavior.entry_distribution(j);
+  const std::vector<double> lambdas =
+      core::solve_traffic_equations(transfer, entry, external);
+  std::vector<double> population_in(j);
+  for (int i = 0; i < j; ++i) {
+    population_in[static_cast<std::size_t>(i)] =
+        lambdas[static_cast<std::size_t>(i)] * t0;
+  }
+  const core::ChunkAvailability availability =
+      core::solve_chunk_availability(transfer, population_in);
+
+  sim::Simulator sim;
+  util::Rng rng(123);
+  // measured time-average of: users in queue q that have visited chunk 0.
+  std::vector<double> area(j, 0.0);
+  std::vector<int> holders(j, 0);
+  double last = 0.0;
+  const auto account = [&] {
+    for (int q = 0; q < j; ++q) area[q] += holders[q] * (sim.now() - last);
+    last = sim.now();
+  };
+
+  struct Walker {
+    bool owns0 = false;
+  };
+  std::function<void(std::shared_ptr<Walker>, int)> enter =
+      [&](std::shared_ptr<Walker> w, int chunk) {
+        account();
+        if (w->owns0 && chunk != 0) ++holders[chunk];
+        sim.schedule_in(t0, [&, w, chunk] {
+          account();
+          if (w->owns0 && chunk != 0) --holders[chunk];
+          if (chunk == 0) w->owns0 = true;  // finished downloading chunk 0
+          const auto next = behavior.sample_next(chunk, j, rng);
+          if (next) enter(w, *next);
+        });
+      };
+  std::function<void()> arrive = [&] {
+    sim.schedule_in(rng.exponential(1.0 / external), [&] {
+      enter(std::make_shared<Walker>(), behavior.sample_entry(j, rng));
+      arrive();
+    });
+  };
+  arrive();
+  const double horizon = 120'000.0;
+  sim.run_until(horizon);
+  account();
+
+  double measured_total = 0.0, predicted_total = 0.0;
+  for (int q = 1; q < j; ++q) {
+    measured_total += area[q] / horizon;
+    predicted_total += availability.nu(0, static_cast<std::size_t>(q));
+  }
+  // Aggregate supplier count for chunk 0 (Eqn. 4) within 12%.
+  EXPECT_NEAR(measured_total / predicted_total, 1.0, 0.12)
+      << "measured " << measured_total << " predicted " << predicted_total;
+}
+
+// ----------------------------------------------------- ServicePool fuzzing
+
+TEST(ServicePoolValidation, RandomizedOpsConserveBytes) {
+  // Fuzz the pool with random capacity changes / arrivals and verify that
+  // total bytes served (peer + cloud counters) equals bytes admitted minus
+  // bytes still in flight, within float tolerance.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::Simulator sim;
+    util::Rng rng(seed);
+    double bytes_admitted = 0.0;
+    double bytes_completed = 0.0;
+    vod::ServicePool pool(sim, 2'000.0,
+                          [&](const vod::ServicePool::Completion&) {});
+
+    // Track per-job size to account completed bytes.
+    std::vector<double> sizes;
+    pool.set_capacity(rng.uniform(0.0, 3'000.0), rng.uniform(0.0, 3'000.0));
+    for (int step = 0; step < 200; ++step) {
+      const double dt = rng.exponential(5.0);
+      sim.run_until(sim.now() + dt);
+      if (rng.bernoulli(0.6)) {
+        const double bytes = rng.uniform(100.0, 20'000.0);
+        bytes_admitted += bytes;
+        pool.add_job(bytes, static_cast<std::uint64_t>(step));
+      } else {
+        pool.set_capacity(rng.uniform(0.0, 3'000.0), rng.uniform(0.0, 3'000.0));
+      }
+    }
+    // Drain: give it ample capacity and let everything finish.
+    pool.set_capacity(0.0, 1e9);
+    sim.run_all();
+    pool.sync();
+    bytes_completed = pool.cloud_bytes_served() + pool.peer_bytes_served();
+    EXPECT_EQ(pool.active_jobs(), 0u);
+    EXPECT_NEAR(bytes_completed / std::max(1.0, bytes_admitted), 1.0, 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(ServicePoolValidation, RatesNeverExceedCapacityOrCap) {
+  sim::Simulator sim;
+  util::Rng rng(77);
+  vod::ServicePool pool(sim, 1'000.0,
+                        [](const vod::ServicePool::Completion&) {});
+  for (int step = 0; step < 300; ++step) {
+    sim.run_until(sim.now() + rng.exponential(2.0));
+    if (rng.bernoulli(0.5)) {
+      pool.add_job(rng.uniform(500.0, 5'000.0),
+                   static_cast<std::uint64_t>(step));
+    } else {
+      pool.set_capacity(rng.uniform(0.0, 5'000.0), rng.uniform(0.0, 5'000.0));
+    }
+    EXPECT_LE(pool.total_rate(), pool.total_capacity() + 1e-9);
+    EXPECT_LE(pool.total_rate(),
+              pool.active_jobs() * 1'000.0 + 1e-9);  // per-job cap
+    EXPECT_NEAR(pool.peer_rate() + pool.cloud_rate(), pool.total_rate(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cloudmedia

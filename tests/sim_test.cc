@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cloudmedia::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EqualTimesFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockIsEventTimeInsideCallback) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(5.0, [&] { ran = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(5.1, [&] { ran = true; });
+  sim.run_until(5.0);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run_until(2.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, CancelFromInsideCallback) {
+  Simulator sim;
+  bool second_ran = false;
+  const EventId second = sim.schedule_at(2.0, [&] { second_ran = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(second); });
+  sim.run_until(5.0);
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, EventsScheduledAtCurrentTimeRunInSameDrain) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), util::PreconditionError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), util::PreconditionError);
+}
+
+TEST(Simulator, RejectsBackwardRunUntil) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), util::PreconditionError);
+}
+
+TEST(Simulator, RunAllReturnsCountAndRespectsCap) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run_all(4), 4u);
+  EXPECT_EQ(sim.pending(), 6u);
+  EXPECT_EQ(sim.run_all(), 6u);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<double> fires;
+  sim.schedule_periodic(10.0, 5.0, [&](double t) { fires.push_back(t); });
+  sim.run_until(27.0);
+  EXPECT_EQ(fires, (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+}
+
+TEST(Simulator, PeriodicCancelStops) {
+  Simulator sim;
+  int count = 0;
+  Simulator::PeriodicHandle handle =
+      sim.schedule_periodic(1.0, 1.0, [&](double) { ++count; });
+  sim.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCancelFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  Simulator::PeriodicHandle handle;
+  handle = sim.schedule_periodic(1.0, 1.0, [&](double) {
+    if (++count == 2) handle.cancel();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicValidatesArguments) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(0.0, 0.0, [](double) {}),
+               util::PreconditionError);
+  EXPECT_THROW(sim.schedule_periodic(0.0, -1.0, [](double) {}),
+               util::PreconditionError);
+}
+
+TEST(Simulator, ManyInterleavedEventsKeepOrder) {
+  Simulator sim;
+  std::vector<double> times;
+  // Schedule in scrambled order; execution must be sorted.
+  for (int i = 0; i < 500; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    sim.schedule_at(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_all();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+  EXPECT_EQ(times.size(), 500u);
+}
+
+TEST(Simulator, CallbackExceptionPropagates) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(sim.run_until(2.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cloudmedia::sim

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "vod/service_pool.h"
+#include "vod/tracker.h"
+
+namespace cloudmedia::vod {
+namespace {
+
+struct PoolHarness {
+  sim::Simulator sim;
+  std::vector<ServicePool::Completion> done;
+  ServicePool pool;
+
+  explicit PoolHarness(double per_job_cap = 100.0)
+      : pool(sim, per_job_cap,
+             [this](const ServicePool::Completion& c) { done.push_back(c); }) {}
+};
+
+// ------------------------------------------------------------ ServicePool
+
+TEST(ServicePool, SingleJobServedAtPerJobCap) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 1000.0);  // capacity far above the cap
+  h.pool.add_job(500.0, 7);
+  h.sim.run_until(4.9);
+  EXPECT_TRUE(h.done.empty());
+  h.sim.run_until(5.0);  // 500 bytes / 100 B/s
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_EQ(h.done[0].tag, 7u);
+  EXPECT_NEAR(h.done[0].sojourn, 5.0, 1e-9);
+}
+
+TEST(ServicePool, CapacityLimitsSingleJob) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 50.0);
+  h.pool.add_job(500.0, 1);
+  h.sim.run_until(10.0);  // 500 / 50
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 10.0, 1e-9);
+}
+
+TEST(ServicePool, ProcessorSharingSplitsEqually) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.pool.add_job(100.0, 1);
+  h.pool.add_job(100.0, 2);
+  // Two equal jobs at 50 B/s each finish together at t = 2.
+  h.sim.run_until(2.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_NEAR(h.done[0].sojourn, 2.0, 1e-9);
+  EXPECT_NEAR(h.done[1].sojourn, 2.0, 1e-9);
+}
+
+TEST(ServicePool, LateArrivalFinishesLater) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.pool.add_job(100.0, 1);
+  h.sim.schedule_at(0.5, [&] { h.pool.add_job(100.0, 2); });
+  h.sim.run_all();
+  ASSERT_EQ(h.done.size(), 2u);
+  // Job 1: 0.5s alone (50 B) + shares 50 B/s until 100 B total:
+  // needs 50 more bytes at 50 B/s -> t = 1.5.
+  EXPECT_EQ(h.done[0].tag, 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 1.5, 1e-9);
+  // Job 2: 50 B/s from 0.5 to 1.5 (50 B), then alone at 100 B/s for the
+  // remaining 50 B -> completes at 2.0, sojourn 1.5.
+  EXPECT_EQ(h.done[1].tag, 2u);
+  EXPECT_NEAR(h.done[1].sojourn, 1.5, 1e-9);
+}
+
+TEST(ServicePool, CapacityChangeMidDownload) {
+  PoolHarness h(1000.0);
+  h.pool.set_capacity(0.0, 10.0);
+  h.pool.add_job(100.0, 1);
+  h.sim.schedule_at(5.0, [&] { h.pool.set_capacity(0.0, 5.0); });
+  h.sim.run_all();
+  // 50 bytes in the first 5 s, remaining 50 at 5 B/s -> t = 15.
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 15.0, 1e-9);
+}
+
+TEST(ServicePool, StarvedPoolResumesWhenCapacityReturns) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 0.0);
+  h.pool.add_job(100.0, 1);
+  h.sim.run_until(50.0);
+  EXPECT_TRUE(h.done.empty());
+  h.pool.set_capacity(0.0, 100.0);
+  h.sim.run_all();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 51.0, 1e-9);
+}
+
+TEST(ServicePool, NoLivelockAfterLongBusyPeriods) {
+  // Regression: the cumulative service level only matters relative to the
+  // outstanding targets, but it used to grow without bound. Past ~2^35
+  // bytes one double ULP exceeds the completion tolerance, `level +=
+  // rate*dt` rounds to zero progress, and the pool reschedules the same
+  // completion forever at an unmoving clock — week-long paper-scale runs
+  // froze at t around 2^17 s. The pool now rebases; this keeps a pool busy
+  // at the paper's per-VM rate far past the old tipping point.
+  PoolHarness h(1.25e6);                  // R = 10 Mbps per connection
+  h.pool.set_capacity(0.0, 1.25e6);
+  const double chunk_bytes = 15e6;        // the paper's 15 MB chunks
+  long completions = 0;
+  // Keep exactly one job in flight: each completion enqueues the next.
+  std::function<void()> enqueue = [&] { h.pool.add_job(chunk_bytes, 1); };
+  h.pool.set_capacity(0.0, 1.25e6);
+  enqueue();
+  const double horizon = 300'000.0;       // ~3.5 simulated days busy
+  double watchdog = 0.0;
+  while (h.sim.now() < horizon) {
+    const std::size_t before = h.done.size();
+    h.sim.run_all(1000);
+    completions += static_cast<long>(h.done.size() - before);
+    for (std::size_t k = before; k < h.done.size(); ++k) enqueue();
+    // A livelock would stop advancing the clock while burning events.
+    ASSERT_GT(h.sim.now(), watchdog) << "clock stalled at " << h.sim.now();
+    watchdog = h.sim.now();
+    if (h.sim.pending() == 0) break;
+  }
+  // 1.25e6 B/s over 300000 s serves exactly 25 chunks/300 s.
+  EXPECT_NEAR(static_cast<double>(completions), horizon / 12.0, 2.0);
+}
+
+TEST(ServicePool, TinyResidualWorkCompletesAtLargeSimTimes) {
+  // Regression companion to NoLivelockAfterLongBusyPeriods: even with the
+  // service level rebased, a job whose *remaining* bytes are just above
+  // the byte tolerance needs a timer step below the clock's resolution
+  // once now is large (ULP(131072 s) ~ 3e-11 s) — scheduling it would land
+  // back on `now` and spin forever. The completion tolerance absorbs any
+  // work the clock cannot resolve.
+  PoolHarness h(1.25e6);
+  h.pool.set_capacity(0.0, 1.25e6);
+  h.sim.run_until(131'072.0);  // a large clock, as in week-long runs
+  // Remaining work after the scheduled hop lands within a clock quantum:
+  // 2e-5 bytes at 1.25e6 B/s is a 1.6e-11 s step, below ULP(now).
+  h.pool.add_job(15e6 + 2e-5, 1);
+  const std::size_t events = h.sim.run_all(10'000);
+  ASSERT_EQ(h.done.size(), 1u) << "job never completed (frozen-clock spin)";
+  EXPECT_LT(events, 100u) << "completion took an event storm";
+  EXPECT_NEAR(h.done[0].sojourn, 12.0, 1e-3);
+}
+
+TEST(ServicePool, RemoveJobSuppressesCompletion) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  const std::uint64_t id = h.pool.add_job(100.0, 1);
+  EXPECT_TRUE(h.pool.remove_job(id));
+  EXPECT_FALSE(h.pool.remove_job(id));
+  h.sim.run_all();
+  EXPECT_TRUE(h.done.empty());
+  EXPECT_EQ(h.pool.active_jobs(), 0u);
+}
+
+TEST(ServicePool, PeerFirstAttribution) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(60.0, 40.0);
+  h.pool.add_job(1000.0, 1);  // rate = min(100, 100/1) = 100
+  EXPECT_NEAR(h.pool.total_rate(), 100.0, 1e-9);
+  EXPECT_NEAR(h.pool.peer_rate(), 60.0, 1e-9);
+  EXPECT_NEAR(h.pool.cloud_rate(), 40.0, 1e-9);
+}
+
+TEST(ServicePool, CloudUnusedWhenPeersSuffice) {
+  PoolHarness h(10.0);
+  h.pool.set_capacity(60.0, 40.0);
+  h.pool.add_job(1000.0, 1);  // per-job cap 10 binds
+  EXPECT_NEAR(h.pool.total_rate(), 10.0, 1e-9);
+  EXPECT_NEAR(h.pool.peer_rate(), 10.0, 1e-9);
+  EXPECT_NEAR(h.pool.cloud_rate(), 0.0, 1e-9);
+}
+
+TEST(ServicePool, ByteCountersSplitBySource) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(30.0, 70.0);
+  h.pool.add_job(100.0, 1);
+  h.sim.run_all();  // 1 second at 100 B/s
+  h.pool.sync();
+  EXPECT_NEAR(h.pool.peer_bytes_served(), 30.0, 1e-6);
+  EXPECT_NEAR(h.pool.cloud_bytes_served(), 70.0, 1e-6);
+}
+
+TEST(ServicePool, ManyJobsAllComplete) {
+  PoolHarness h(10.0);
+  h.pool.set_capacity(0.0, 100.0);
+  for (int i = 0; i < 50; ++i) {
+    h.pool.add_job(10.0 + i, static_cast<std::uint64_t>(i));
+  }
+  h.sim.run_all();
+  EXPECT_EQ(h.done.size(), 50u);
+  EXPECT_EQ(h.pool.active_jobs(), 0u);
+  // Smaller jobs finish no later than larger ones (equal rates).
+  for (std::size_t k = 1; k < h.done.size(); ++k) {
+    EXPECT_LE(h.done[k - 1].tag, h.done[k].tag);
+  }
+}
+
+TEST(ServicePool, CompletionHandlerMayAddJobs) {
+  sim::Simulator sim;
+  int completions = 0;
+  ServicePool* pool_ptr = nullptr;
+  ServicePool pool(sim, 100.0, [&](const ServicePool::Completion&) {
+    if (++completions < 3) pool_ptr->add_job(100.0, 9);
+  });
+  pool_ptr = &pool;
+  pool.set_capacity(0.0, 100.0);
+  pool.add_job(100.0, 9);
+  sim.run_all();
+  EXPECT_EQ(completions, 3);
+}
+
+TEST(ServicePool, RejectsInvalidArguments) {
+  PoolHarness h;
+  EXPECT_THROW(h.pool.add_job(0.0, 1), util::PreconditionError);
+  EXPECT_THROW(h.pool.set_capacity(-1.0, 0.0), util::PreconditionError);
+}
+
+TEST(ServicePool, SojournMeasuredFromEnqueue) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.sim.schedule_at(10.0, [&] { h.pool.add_job(200.0, 4); });
+  h.sim.run_all();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].enqueue_time, 10.0, 1e-12);
+  EXPECT_NEAR(h.done[0].sojourn, 2.0, 1e-9);
+}
+
+// --------------------------------------------------------------- Tracker
+
+TEST(Tracker, CountsArrivalsAndTransitions) {
+  Tracker tracker(2, 4);
+  tracker.record_arrival(0, 0);
+  tracker.record_arrival(0, 2);
+  tracker.record_transition(0, 0, 1);
+  tracker.record_transition(0, 1, std::nullopt);
+  EXPECT_EQ(tracker.arrivals(0), 2);
+  EXPECT_EQ(tracker.transitions(0, 0, 1), 1);
+  EXPECT_EQ(tracker.leaves(0, 1), 1);
+  EXPECT_EQ(tracker.arrivals(1), 0);
+}
+
+TEST(Tracker, HarvestBuildsNormalizedReport) {
+  Tracker tracker(1, 3);
+  for (int i = 0; i < 60; ++i) tracker.record_arrival(0, 0);
+  for (int i = 0; i < 30; ++i) tracker.record_arrival(0, 1);
+  for (int i = 0; i < 40; ++i) tracker.record_transition(0, 0, 1);
+  for (int i = 0; i < 10; ++i) tracker.record_transition(0, 0, 2);
+  for (int i = 0; i < 50; ++i) tracker.record_transition(0, 0, std::nullopt);
+
+  const std::vector<std::vector<double>> occupancy{{1.0, 2.0, 3.0}};
+  const std::vector<double> uplink{55'000.0};
+  const std::vector<std::vector<double>> served{{1e6, 0.0, 0.0}};
+  const core::TrackerReport report =
+      tracker.harvest(0.0, 3600.0, occupancy, uplink, served);
+
+  ASSERT_EQ(report.channels.size(), 1u);
+  const core::ChannelObservation& obs = report.channels[0];
+  EXPECT_NEAR(obs.arrival_rate, 90.0 / 3600.0, 1e-12);
+  EXPECT_NEAR(obs.entry[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(obs.entry[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(obs.transfer(0, 1), 0.4, 1e-12);
+  EXPECT_NEAR(obs.transfer(0, 2), 0.1, 1e-12);
+  // Row sum leaves out the 50% leave probability.
+  EXPECT_NEAR(obs.transfer(0, 0) + obs.transfer(0, 1) + obs.transfer(0, 2),
+              0.5, 1e-12);
+  EXPECT_EQ(obs.occupancy, occupancy[0]);
+  EXPECT_DOUBLE_EQ(obs.mean_peer_uplink, 55'000.0);
+  EXPECT_EQ(obs.served_cloud_bandwidth, served[0]);
+}
+
+TEST(Tracker, HarvestResetsCounters) {
+  Tracker tracker(1, 2);
+  tracker.record_arrival(0, 0);
+  tracker.record_transition(0, 0, 1);
+  const std::vector<std::vector<double>> occupancy{{0.0, 0.0}};
+  const std::vector<double> uplink{0.0};
+  (void)tracker.harvest(0.0, 3600.0, occupancy, uplink, occupancy);
+  EXPECT_EQ(tracker.arrivals(0), 0);
+  EXPECT_EQ(tracker.transitions(0, 0, 1), 0);
+  const core::TrackerReport second =
+      tracker.harvest(3600.0, 3600.0, occupancy, uplink, occupancy);
+  EXPECT_DOUBLE_EQ(second.channels[0].arrival_rate, 0.0);
+}
+
+TEST(Tracker, NoArrivalsYieldsValidEntryDistribution) {
+  Tracker tracker(1, 3);
+  const std::vector<std::vector<double>> occupancy{{0, 0, 0}};
+  const std::vector<double> uplink{0.0};
+  const core::TrackerReport report =
+      tracker.harvest(0.0, 3600.0, occupancy, uplink, occupancy);
+  double total = 0.0;
+  for (double e : report.channels[0].entry) total += e;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Tracker, UnobservedRowsStayZero) {
+  Tracker tracker(1, 3);
+  tracker.record_transition(0, 0, 1);
+  const std::vector<std::vector<double>> occupancy{{0, 0, 0}};
+  const std::vector<double> uplink{0.0};
+  const core::TrackerReport report =
+      tracker.harvest(0.0, 3600.0, occupancy, uplink, occupancy);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(report.channels[0].transfer(2, j), 0.0);
+  }
+}
+
+TEST(Tracker, ValidatesIndices) {
+  Tracker tracker(2, 3);
+  EXPECT_THROW(tracker.record_arrival(5, 0), util::PreconditionError);
+  EXPECT_THROW(tracker.record_arrival(0, 9), util::PreconditionError);
+  EXPECT_THROW(tracker.record_transition(0, 0, 7), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cloudmedia::vod
