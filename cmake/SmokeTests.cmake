@@ -1,0 +1,42 @@
+# Smoke tier: fast pass/fail runs of paper-figure code, labelled "smoke".
+# Run with `ctest -L smoke`. Each job downsizes the simulated horizon where
+# the binary takes flags, so the whole tier completes in well under a minute.
+
+# add_smoke_test(<name> <target> [args...])
+function(add_smoke_test name target)
+  if(NOT TARGET ${target})
+    message(WARNING "smoke test ${name}: target ${target} missing, skipped")
+    return()
+  endif()
+  add_test(NAME smoke.${name} COMMAND ${target} ${ARGN})
+  set_tests_properties(smoke.${name} PROPERTIES
+    LABELS "smoke"
+    TIMEOUT 45)
+endfunction()
+
+if(CLOUDMEDIA_BUILD_EXAMPLES)
+  add_smoke_test(quickstart example_quickstart)
+  add_smoke_test(capacity_planning example_capacity_planning)
+  add_smoke_test(cs_vs_p2p example_cs_vs_p2p --hours=2 --seed=42)
+  add_smoke_test(flash_crowd example_flash_crowd --hours=2 --warmup=1 --seed=42)
+  add_smoke_test(forecasting example_forecasting --days=2 --seed=42)
+  add_smoke_test(geo_distributed example_geo_distributed --hours=2 --seed=42)
+  add_smoke_test(trace_replay example_trace_replay --hours=2 --seed=42)
+endif()
+
+if(CLOUDMEDIA_BUILD_TOOLS)
+  add_smoke_test(diag_hourly tool_diag_hourly --hours=2 --seed=42)
+endif()
+
+# One downscaled bench per paper-figure family (fig04–fig11).
+if(CLOUDMEDIA_BUILD_BENCH)
+  set(CLOUDMEDIA_SMOKE_ARGS --hours=2 --warmup=1 --seed=42)
+  add_smoke_test(fig04 bench_fig04_capacity_provisioning ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig05 bench_fig05_streaming_quality ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig06 bench_fig06_quality_vs_channel_size ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig07 bench_fig07_bandwidth_vs_channel_size ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig08 bench_fig08_storage_utility ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig09 bench_fig09_vm_utility ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig10 bench_fig10_vm_cost ${CLOUDMEDIA_SMOKE_ARGS})
+  add_smoke_test(fig11 bench_fig11_peer_bandwidth_sufficiency ${CLOUDMEDIA_SMOKE_ARGS})
+endif()

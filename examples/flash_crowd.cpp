@@ -7,7 +7,7 @@
 // demand serve the actual demand quite well, even at times of flash
 // crowds", Sec. VI-B) in one terminal screen.
 //
-// Run: ./build/examples/example_flash_crowd [--seed=42]
+// Run: ./build/examples/example_flash_crowd [--hours=24 --warmup=4 --seed=42]
 
 #include <cstdio>
 
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
       expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
   // One sharp flash crowd at hour 18, tripling the baseline arrival rate.
   cfg.workload.diurnal = workload::DiurnalPattern(0.8, {{18.0, 2.4, 1.0}});
-  cfg.warmup_hours = 4.0;
-  cfg.measure_hours = 24.0;
+  cfg.warmup_hours = flags.get("warmup", 4.0);
+  cfg.measure_hours = flags.get("hours", 24.0);
   cfg.seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
   std::printf("Flash crowd demo: P2P CloudMedia, 3x arrival spike at hour 18\n");

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Fail if any tracked C++ source deviates from .clang-format.
+# Usage: scripts/check-format.sh [--fix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=... to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h')
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+else
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+fi

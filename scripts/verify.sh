@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full CTest suite.
+# Usage: scripts/verify.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

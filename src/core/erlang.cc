@@ -61,16 +61,44 @@ int min_servers(double lambda, double mu, double target_system_size) {
 
   // The paper initializes m = 1 and increments until E[n] <= λT0
   // (Sec. IV-B); values of m <= a are unstable (E[n] = ∞), so start just
-  // above the stability threshold — the result is identical.
-  int m = static_cast<int>(a) + 1;
+  // above the stability threshold. E[n] is strictly decreasing in m, so a
+  // gallop + binary search finds the same minimal m as the paper's linear
+  // scan in O(log(m - a)) evaluations instead of O(m - a) — each
+  // evaluation is itself O(m), which matters for million-server loads.
   constexpr int kMaxServers = 1 << 24;
-  while (m < kMaxServers) {
-    if (mmm_metrics(lambda, mu, m).expected_system <= target_system_size) {
-      return m;
-    }
-    ++m;
+  const auto meets_target = [&](int m) {
+    return mmm_metrics(lambda, mu, m).expected_system <= target_system_size;
+  };
+  const int first_stable = static_cast<int>(a) + 1;
+  if (first_stable >= kMaxServers) {
+    throw util::InvariantError("min_servers: no feasible m below cap");
   }
-  throw util::InvariantError("min_servers: no feasible m below cap");
+  if (meets_target(first_stable)) return first_stable;
+
+  int below = first_stable;  // largest m known to miss the target
+  int step = 1;
+  int above = 0;  // smallest m known to meet it
+  for (;;) {
+    const int candidate = below + step;
+    if (candidate >= kMaxServers) {
+      throw util::InvariantError("min_servers: no feasible m below cap");
+    }
+    if (meets_target(candidate)) {
+      above = candidate;
+      break;
+    }
+    below = candidate;
+    step *= 2;
+  }
+  while (above - below > 1) {
+    const int mid = below + (above - below) / 2;
+    if (meets_target(mid)) {
+      above = mid;
+    } else {
+      below = mid;
+    }
+  }
+  return above;
 }
 
 }  // namespace cloudmedia::core

@@ -5,6 +5,7 @@
 #include "core/capacity.h"
 #include "core/jackson.h"
 #include "core/p2p.h"
+#include "testing/seeds.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "workload/viewing.h"
@@ -79,7 +80,7 @@ TEST(TrafficEquations, ConservationExternalEqualsDepartures) {
 class TrafficConservationSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(TrafficConservationSweep, RandomSubStochasticNetworksConserveFlow) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  util::Rng rng(testing::sweep_seed(GetParam(), 9973, 17));
   const int j = 3 + GetParam() % 6;
   util::Matrix p(static_cast<std::size_t>(j), static_cast<std::size_t>(j));
   for (int i = 0; i < j; ++i) {

@@ -6,6 +6,7 @@
 #include "core/clusters.h"
 #include "core/storage_rental.h"
 #include "core/vm_allocation.h"
+#include "testing/seeds.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -205,7 +206,7 @@ TEST(StorageChannelUtility, SumsOnlyTheChannel) {
 class StorageRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(StorageRandomSweep, GreedyNeverBeatsExactAndBothRespectConstraints) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  util::Rng rng(testing::sweep_seed(GetParam(), 7919, 0));
   StorageProblem p;
   p.chunk_bytes = 1.0;  // slots == capacity_bytes
   const int clusters = 2 + GetParam() % 2;
@@ -343,7 +344,7 @@ TEST(VmExact, InfeasibleWhenBudgetTooSmall) {
 class VmRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(VmRandomSweep, GreedyNeverBeatsExact) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  util::Rng rng(testing::sweep_seed(GetParam(), 104729, 0));
   VmProblem p;
   p.vm_bandwidth = 1'250'000.0;
   const int clusters = 2 + GetParam() % 3;

@@ -268,7 +268,7 @@ TEST(Factory, ShortAliasesParse) {
             ForecasterKind::kMovingAverage);
   EXPECT_EQ(predict::forecaster_kind_from_string("hw"),
             ForecasterKind::kHoltWinters);
-  EXPECT_THROW(predict::forecaster_kind_from_string("nope"),
+  EXPECT_THROW((void)predict::forecaster_kind_from_string("nope"),
                util::PreconditionError);
 }
 

@@ -15,6 +15,7 @@
 #include "core/p2p.h"
 #include "core/storage_rental.h"
 #include "core/vm_allocation.h"
+#include "testing/seeds.h"
 #include "util/rng.h"
 #include "workload/viewing.h"
 
@@ -78,7 +79,7 @@ core::VmProblem random_vm_problem(util::Rng& rng) {
 class StorageRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(StorageRandomSweep, GreedyNeverBeatsExactAndBothAudit) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  util::Rng rng(testing::sweep_seed(GetParam(), 7919, 13));
   for (int trial = 0; trial < 40; ++trial) {
     const core::StorageProblem problem = random_storage_problem(rng);
     const core::StorageAssignment greedy = core::solve_storage_greedy(problem);
@@ -113,7 +114,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StorageRandomSweep, ::testing::Range(0, 8));
 class VmRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(VmRandomSweep, GreedyNeverBeatsExactAndMeetsDemandWhenFeasible) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  util::Rng rng(testing::sweep_seed(GetParam(), 104729, 7));
   int greedy_only_failures = 0;
   for (int trial = 0; trial < 40; ++trial) {
     const core::VmProblem problem = random_vm_problem(rng);
@@ -163,7 +164,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, VmRandomSweep, ::testing::Range(0, 8));
 class PackingRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(PackingRandomSweep, InstancesCoverAllocationWithinClusterBounds) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  util::Rng rng(testing::sweep_seed(GetParam(), 31, 3));
   for (int trial = 0; trial < 40; ++trial) {
     const core::VmProblem problem = random_vm_problem(rng);
     const core::VmAllocation greedy = core::solve_vm_greedy(problem);
@@ -207,7 +208,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PackingRandomSweep, ::testing::Range(0, 8));
 class PipelineRandomSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(PipelineRandomSweep, DemandPipelineInvariantsHoldForRandomBehaviour) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  util::Rng rng(testing::sweep_seed(GetParam(), 65537, 11));
   for (int trial = 0; trial < 15; ++trial) {
     workload::ViewingBehavior behavior;
     behavior.alpha = rng.uniform(0.1, 0.95);
@@ -269,6 +270,61 @@ TEST_P(PipelineRandomSweep, DemandPipelineInvariantsHoldForRandomBehaviour) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRandomSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Determinism regression: the instance builders above must be pure functions
+// of the seed — no global state, iteration-order dependence, or other hidden
+// nondeterminism — or sweep failures would not reproduce under --rerun-failed.
+// ---------------------------------------------------------------------------
+
+TEST(RandomInstanceDeterminism, BuildersReproduceBitForBitFromSeed) {
+  for (std::uint64_t seed : {cloudmedia::testing::kGoldenSeed,
+                             cloudmedia::testing::sweep_seed(3, 7919, 13)}) {
+    util::Rng a(seed);
+    util::Rng b(seed);
+    const core::StorageProblem sp1 = random_storage_problem(a);
+    const core::StorageProblem sp2 = random_storage_problem(b);
+    ASSERT_EQ(sp1.clusters.size(), sp2.clusters.size());
+    ASSERT_EQ(sp1.chunks.size(), sp2.chunks.size());
+    EXPECT_EQ(sp1.budget_per_hour, sp2.budget_per_hour);
+    for (std::size_t f = 0; f < sp1.clusters.size(); ++f) {
+      EXPECT_EQ(sp1.clusters[f].utility, sp2.clusters[f].utility);
+      EXPECT_EQ(sp1.clusters[f].price_per_gb_hour,
+                sp2.clusters[f].price_per_gb_hour);
+      EXPECT_EQ(sp1.clusters[f].capacity_bytes, sp2.clusters[f].capacity_bytes);
+    }
+    for (std::size_t i = 0; i < sp1.chunks.size(); ++i) {
+      EXPECT_EQ(sp1.chunks[i].demand, sp2.chunks[i].demand);
+    }
+
+    const core::VmProblem vp1 = random_vm_problem(a);
+    const core::VmProblem vp2 = random_vm_problem(b);
+    ASSERT_EQ(vp1.clusters.size(), vp2.clusters.size());
+    ASSERT_EQ(vp1.chunks.size(), vp2.chunks.size());
+    EXPECT_EQ(vp1.budget_per_hour, vp2.budget_per_hour);
+    for (std::size_t i = 0; i < vp1.chunks.size(); ++i) {
+      EXPECT_EQ(vp1.chunks[i].demand, vp2.chunks[i].demand);
+    }
+  }
+}
+
+TEST(RandomInstanceDeterminism, SolversAreDeterministicOnFixedInstance) {
+  util::Rng rng(cloudmedia::testing::kGoldenSeed);
+  const core::StorageProblem sp = random_storage_problem(rng);
+  const core::VmProblem vp = random_vm_problem(rng);
+
+  const core::StorageAssignment s1 = core::solve_storage_exact(sp);
+  const core::StorageAssignment s2 = core::solve_storage_exact(sp);
+  EXPECT_EQ(s1.feasible, s2.feasible);
+  EXPECT_EQ(s1.total_utility, s2.total_utility);
+  EXPECT_EQ(s1.cluster_of, s2.cluster_of);
+
+  const core::VmAllocation v1 = core::solve_vm_greedy(vp);
+  const core::VmAllocation v2 = core::solve_vm_greedy(vp);
+  EXPECT_EQ(v1.feasible, v2.feasible);
+  EXPECT_EQ(v1.total_utility, v2.total_utility);
+  EXPECT_EQ(v1.z, v2.z);
+}
 
 }  // namespace
 }  // namespace cloudmedia

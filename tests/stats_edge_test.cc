@@ -1,0 +1,155 @@
+// Edge-case coverage for src/util/stats.cc (ISSUE 1 satellite): empty
+// inputs and single samples for SummaryStats, TimeSeries, and linear_fit.
+// Complements the bulk accumulation tests in util_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace cloudmedia::util {
+namespace {
+
+// ------------------------------------------------------------ SummaryStats
+
+TEST(SummaryStatsEdge, EmptyAccumulatorIsZeroValued) {
+  const SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  // min/max on an empty accumulator are the identity elements, by design:
+  // merging an empty accumulator must never move another's extrema.
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(SummaryStatsEdge, SingleSample) {
+  SummaryStats s;
+  s.add(-3.25);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // sample variance undefined -> 0
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.25);
+  EXPECT_DOUBLE_EQ(s.max(), -3.25);
+  EXPECT_DOUBLE_EQ(s.sum(), -3.25);
+}
+
+TEST(SummaryStatsEdge, MergeWithEmptyIsIdentityBothWays) {
+  SummaryStats filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  filled.add(4.0);
+
+  SummaryStats lhs = filled;
+  lhs.merge(SummaryStats{});  // empty rhs: no-op
+  EXPECT_EQ(lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(lhs.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(lhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lhs.max(), 4.0);
+
+  SummaryStats rhs;  // empty lhs: adopt rhs wholesale
+  rhs.merge(filled);
+  EXPECT_EQ(rhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(rhs.variance(), filled.variance());
+
+  SummaryStats both;  // empty + empty stays empty
+  both.merge(SummaryStats{});
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+}
+
+TEST(SummaryStatsEdge, MergeOfSingletonsMatchesBatch) {
+  SummaryStats a;
+  a.add(2.0);
+  SummaryStats b;
+  b.add(8.0);
+  a.merge(b);
+
+  SummaryStats batch;
+  batch.add(2.0);
+  batch.add(8.0);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), batch.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), batch.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+// -------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeriesEdge, EmptySeriesAggregatesToZero) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0.0, 100.0), 0.0);
+  EXPECT_TRUE(ts.resample(0.0, 1.0).empty());
+  EXPECT_THROW((void)ts.time_at(0), PreconditionError);
+  EXPECT_THROW((void)ts.value_at(0), PreconditionError);
+}
+
+TEST(TimeSeriesEdge, SinglePoint) {
+  TimeSeries ts;
+  ts.add(5.0, -2.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.mean(), -2.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), -2.0);  // max of values, even if negative
+  EXPECT_DOUBLE_EQ(ts.mean_over(0.0, 10.0), -2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(6.0, 10.0), 0.0);  // window misses the point
+
+  const TimeSeries r = ts.resample(0.0, 2.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.time_at(0), 4.0);  // window [4, 6) contains t=5
+  EXPECT_DOUBLE_EQ(r.value_at(0), -2.0);
+}
+
+TEST(TimeSeriesEdge, DuplicateTimestampsAreAllowedAndAveraged) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(1.0, 20.0);  // non-decreasing, not strictly increasing
+  EXPECT_DOUBLE_EQ(ts.mean_over(1.0, 1.5), 15.0);
+}
+
+TEST(TimeSeriesEdge, EmptyWindowMeanIsZero) {
+  TimeSeries ts;
+  ts.add(0.0, 7.0);
+  ts.add(10.0, 9.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(2.0, 8.0), 0.0);   // gap between samples
+  EXPECT_DOUBLE_EQ(ts.mean_over(3.0, 3.0), 0.0);   // zero-width window
+}
+
+// -------------------------------------------------------------- linear_fit
+
+TEST(LinearFitEdge, RejectsFewerThanTwoPoints) {
+  EXPECT_THROW((void)linear_fit({}, {}), PreconditionError);
+  EXPECT_THROW((void)linear_fit({1.0}, {2.0}), PreconditionError);
+  EXPECT_THROW((void)linear_fit({1.0, 2.0}, {1.0}), PreconditionError);
+}
+
+TEST(LinearFitEdge, VerticalDataReportsZeros) {
+  // All x identical: slope is undefined; the fit degrades to zeros rather
+  // than dividing by a ~0 determinant.
+  const LinearFit fit = linear_fit({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+}
+
+TEST(LinearFitEdge, TwoPointsFitExactly) {
+  const LinearFit fit = linear_fit({0.0, 2.0}, {1.0, 5.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cloudmedia::util

@@ -19,7 +19,9 @@ TEST(Zipf, WeightsNormalizedAndDecreasing) {
   double total = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     total += w[i];
-    if (i > 0) EXPECT_LT(w[i], w[i - 1]);
+    if (i > 0) {
+      EXPECT_LT(w[i], w[i - 1]);
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
 }
@@ -169,7 +171,9 @@ TEST(Viewing, TransferMatrixRowsSubStochastic) {
     }
     EXPECT_LE(row, 1.0 + 1e-12);
     // Interior rows leak exactly the leave probability.
-    if (i + 1 < 20) EXPECT_NEAR(row, 1.0 - b.leave_prob, 1e-12);
+    if (i + 1 < 20) {
+      EXPECT_NEAR(row, 1.0 - b.leave_prob, 1e-12);
+    }
   }
 }
 
@@ -228,7 +232,9 @@ TEST(Viewing, SampleNextNeverReturnsCurrentOnJump) {
   util::Rng rng(11);
   for (int i = 0; i < 10'000; ++i) {
     const auto next = b.sample_next(7, 20, rng);
-    if (next) EXPECT_NE(*next, 7);
+    if (next) {
+      EXPECT_NE(*next, 7);
+    }
   }
 }
 
