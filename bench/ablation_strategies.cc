@@ -4,90 +4,63 @@
 //   - static      : permanent peak provisioning (no elasticity)
 //   - clairvoyant : the paper's model fed the *true* next-hour arrival rate
 //                   (isolates the cost of predicting from last-hour stats)
-//   - model (no occupancy floor): DESIGN.md's lingering-viewer guard off.
+//   - model-nofloor: DESIGN.md's lingering-viewer guard off.
 //
-// Flags: --hours=48 --warmup=4 --seed=42
+// Runs on the sweep engine: one grid axis over the strategy knob, fanned
+// across threads, all rows facing the byte-identical workload (strategy is
+// a system-side axis, so it does not perturb the per-run seed).
+//
+// Flags: --hours=48 --warmup=4 --seed=42 --threads=<hardware>
+//        --scenario=baseline_diurnal --out=results/ablation_strategies
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
-#include "expr/config.h"
 #include "expr/flags.h"
-#include "expr/runner.h"
+#include "sweep/param_grid.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/thread_pool.h"
 
 using namespace cloudmedia;
 
-namespace {
-
-struct Row {
-  std::string name;
-  expr::ExperimentResult result;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 48.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  auto base = [&] {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
-    cfg.warmup_hours = flags.get("warmup", 4.0);
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return cfg;
-  };
+  sweep::SweepSpec spec;
+  spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
+  spec.grid.add_axis("strategy", {"model", "model-nofloor", "reactive",
+                                  "static", "seasonal", "clairvoyant"});
+  spec.threads = 0;  // default to hardware
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 48.0;
+  spec.apply_flags(flags);
 
-  std::printf("Ablation: provisioning strategies (client-server, %.0f h, "
-              "seed %llu)\n", hours, static_cast<unsigned long long>(seed));
+  std::printf("Ablation: provisioning strategies (client-server, %s, %.0f h, "
+              "seed %llu, %u threads)\n",
+              spec.scenario.c_str(), spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed),
+              spec.threads ? spec.threads
+                           : sweep::ThreadPool::default_threads());
 
-  std::vector<Row> rows;
-  {
-    expr::ExperimentConfig cfg = base();
-    rows.push_back({"model-based (paper)", expr::ExperimentRunner::run(cfg)});
-  }
-  {
-    expr::ExperimentConfig cfg = base();
-    cfg.occupancy_floor = false;
-    rows.push_back({"model, no occupancy floor", expr::ExperimentRunner::run(cfg)});
-  }
-  {
-    expr::ExperimentConfig cfg = base();
-    cfg.strategy = expr::Strategy::kReactive;
-    rows.push_back({"reactive (margin 1.2)", expr::ExperimentRunner::run(cfg)});
-  }
-  {
-    expr::ExperimentConfig cfg = base();
-    cfg.strategy = expr::Strategy::kStatic;
-    rows.push_back({"static peak", expr::ExperimentRunner::run(cfg)});
-  }
-  {
-    expr::ExperimentConfig cfg = base();
-    cfg.strategy = expr::Strategy::kSeasonal;
-    rows.push_back({"seasonal (future work)", expr::ExperimentRunner::run(cfg)});
-  }
-  {
-    expr::ExperimentConfig cfg = base();
-    cfg.strategy = expr::Strategy::kClairvoyant;
-    rows.push_back({"clairvoyant oracle", expr::ExperimentRunner::run(cfg)});
-  }
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
 
   std::printf("\n%-28s %10s %10s %9s %9s %9s %10s\n", "strategy", "reserved",
               "used", "over-%", "quality", "$/h", "covered");
-  for (const Row& row : rows) {
-    const expr::ExperimentResult& r = row.result;
+  for (const sweep::RunSummary& run : result.runs) {
     const double over =
-        r.mean_used_cloud_mbps() > 0.0
-            ? 100.0 * (r.mean_reserved_mbps() / r.mean_used_cloud_mbps() - 1.0)
+        run.mean_used_cloud_mbps > 0.0
+            ? 100.0 * (run.mean_reserved_mbps / run.mean_used_cloud_mbps - 1.0)
             : 0.0;
     std::printf("%-28s %10.1f %10.1f %8.1f%% %9.3f %9.2f %10.3f\n",
-                row.name.c_str(), r.mean_reserved_mbps(),
-                r.mean_used_cloud_mbps(), over, r.mean_quality(),
-                r.mean_vm_cost_rate(), r.reserved_covers_used_fraction());
+                run.point.coords.front().second.c_str(),
+                run.mean_reserved_mbps, run.mean_used_cloud_mbps, over,
+                run.mean_quality, run.cost_per_hour, run.covered_fraction);
   }
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_strategies"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
 
   std::printf(
       "\nreading: the paper's controller should sit near the clairvoyant "

@@ -26,6 +26,20 @@ endif()
 
 if(CLOUDMEDIA_BUILD_TOOLS)
   add_smoke_test(diag_hourly tool_diag_hourly --hours=2 --seed=42)
+  # Small demo grid through the sweep engine; CI uploads its CSV/JSON.
+  add_smoke_test(sweep_demo tool_sweep
+    --scenario=flash_crowd --grid=channels=4,8 --grid=mode=cs,p2p
+    --threads=4 --hours=1 --warmup=0.25 --seed=42
+    --out=${CMAKE_BINARY_DIR}/artifacts/sweep_demo)
+endif()
+
+# The sweep engine's contract tests — thread-count determinism and the
+# scenario-catalog round-trip — also gate the smoke tier, so the fast path
+# (scripts/verify.sh --smoke, CI's smoke step) cannot pass with a
+# nondeterministic or unconstructible sweep.
+if(TARGET sweep_test)
+  add_smoke_test(sweep_determinism sweep_test
+    --gtest_filter=SweepRunner.*:ScenarioCatalog.*)
 endif()
 
 # One downscaled bench per paper-figure family (fig04–fig11).
@@ -39,4 +53,7 @@ if(CLOUDMEDIA_BUILD_BENCH)
   add_smoke_test(fig09 bench_fig09_vm_utility ${CLOUDMEDIA_SMOKE_ARGS})
   add_smoke_test(fig10 bench_fig10_vm_cost ${CLOUDMEDIA_SMOKE_ARGS})
   add_smoke_test(fig11 bench_fig11_peer_bandwidth_sufficiency ${CLOUDMEDIA_SMOKE_ARGS})
+  # Sweep-engine throughput tracker (3x3 grid, downsized horizon).
+  add_smoke_test(sweep_bench bench_sweep_smoke --hours=0.25 --warmup=0.1
+    --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_sweep.json)
 endif()

@@ -1,10 +1,31 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full CTest suite.
-# Usage: scripts/verify.sh [build-dir]
+# Tier-1 verify: configure, build, run the CTest suite.
+#
+# Usage: scripts/verify.sh [--smoke] [build-dir]
+#   --smoke   run only the smoke tier (fast pass/fail figure benches, the
+#             tool_sweep demo grid, and the sweep determinism tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+SMOKE=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    -*) echo "verify.sh: unknown option '$arg'" >&2; exit 2 ;;
+    *)
+      if [ -n "$BUILD_DIR" ]; then
+        echo "verify.sh: more than one build dir given" >&2; exit 2
+      fi
+      BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+if [ "$SMOKE" = "1" ]; then
+  ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+fi

@@ -13,11 +13,11 @@ Flags::Flags(int argc, const char* const* argv) {
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      values_[arg].push_back(argv[++i]);
     } else {
-      values_[arg] = "true";
+      values_[arg].push_back("true");
     }
   }
 }
@@ -26,28 +26,34 @@ bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
 
 std::string Flags::get(const std::string& key, const std::string& fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  return it == values_.end() ? fallback : it->second.back();
 }
 
 double Flags::get(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  return it == values_.end() ? fallback : std::stod(it->second.back());
 }
 
 int Flags::get(const std::string& key, int fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoi(it->second);
+  return it == values_.end() ? fallback : std::stoi(it->second.back());
 }
 
 long long Flags::get_ll(const std::string& key, long long fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  return it == values_.end() ? fallback : std::stoll(it->second.back());
 }
 
 bool Flags::get(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& value = it->second.back();
+  return value == "true" || value == "1" || value == "yes";
+}
+
+std::vector<std::string> Flags::get_all(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 }  // namespace cloudmedia::expr

@@ -2,11 +2,14 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace cloudmedia::expr {
 
 /// Tiny command-line flag parser for the bench/example binaries:
 /// accepts `--key=value` and `--key value`; bare `--key` means "true".
+/// A flag may repeat (`--grid a=1 --grid b=2`): scalar getters return the
+/// last occurrence, get_all() returns every occurrence in order.
 /// Unknown positional arguments throw (benches take no positionals).
 class Flags {
  public:
@@ -19,9 +22,12 @@ class Flags {
   [[nodiscard]] int get(const std::string& key, int fallback) const;
   [[nodiscard]] long long get_ll(const std::string& key, long long fallback) const;
   [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+  /// All values given for a repeated flag, in command-line order (empty
+  /// when the flag is absent).
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const;
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 }  // namespace cloudmedia::expr

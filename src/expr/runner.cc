@@ -161,6 +161,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   result.plans_rejected = result.metrics.counters.rejected_plans;
   result.vm_boots = cloud.vm_monitor().total_boots();
   result.vm_shutdowns = cloud.vm_monitor().total_shutdowns();
+  result.sim_events = simulator.events_processed();
   return result;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "expr/config.h"
@@ -17,6 +18,7 @@ struct ExperimentResult {
   long plans_rejected = 0;
   long vm_boots = 0;
   long vm_shutdowns = 0;
+  std::uint64_t sim_events = 0;     ///< discrete events the run processed
 
   // --- summaries over the measurement window ----------------------------
   [[nodiscard]] double mean_quality() const;

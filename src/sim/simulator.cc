@@ -1,17 +1,39 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "util/check.h"
 
 namespace cloudmedia::sim {
 
+bool Simulator::retired(EventId id) const noexcept {
+  if (id < base_) return true;
+  return slots_[static_cast<std::size_t>(id - base_)] == nullptr;
+}
+
+Simulator::Callback Simulator::retire(EventId id) noexcept {
+  Callback fn = std::move(slots_[static_cast<std::size_t>(id - base_)]);
+  slots_[static_cast<std::size_t>(id - base_)] = nullptr;
+  --pending_;
+  // Amortized-O(1) compaction keeps the window anchored at the oldest
+  // still-pending id.
+  while (!slots_.empty() && slots_.front() == nullptr) {
+    slots_.pop_front();
+    ++base_;
+  }
+  return fn;
+}
+
 EventId Simulator::schedule_at(double t, Callback fn) {
   CM_EXPECTS(t >= now_);
   CM_EXPECTS(fn != nullptr);
   const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  callbacks_.emplace(id, std::move(fn));
+  slots_.push_back(std::move(fn));
+  ++pending_;
+  heap_.push_back(Entry{t, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   return id;
 }
 
@@ -22,17 +44,18 @@ EventId Simulator::schedule_in(double delay, Callback fn) {
 
 bool Simulator::cancel(EventId id) noexcept {
   // The heap entry stays behind as a tombstone; pop_and_run skips entries
-  // whose callback has been erased.
-  return callbacks_.erase(id) > 0;
+  // whose slot is already null.
+  if (id == kInvalidEvent || id >= next_id_ || retired(id)) return false;
+  (void)retire(id);
+  return true;
 }
 
 void Simulator::pop_and_run() {
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(entry.id);
-  if (it == callbacks_.end()) return;  // cancelled
-  Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Entry entry = heap_.back();
+  heap_.pop_back();
+  if (retired(entry.id)) return;  // cancelled
+  Callback fn = retire(entry.id);
   now_ = entry.time;
   ++processed_;
   fn();
@@ -40,7 +63,7 @@ void Simulator::pop_and_run() {
 
 void Simulator::run_until(double t) {
   CM_EXPECTS(t >= now_);
-  while (!heap_.empty() && heap_.top().time <= t) pop_and_run();
+  while (!heap_.empty() && heap_.front().time <= t) pop_and_run();
   now_ = t;
 }
 

@@ -1,0 +1,153 @@
+#include "sweep/run_summary.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace cloudmedia::sweep {
+
+RunSummary RunSummary::from_result(std::string scenario, GridPoint point,
+                                   std::uint64_t seed,
+                                   const expr::ExperimentResult& r) {
+  RunSummary s;
+  s.scenario = std::move(scenario);
+  s.point = std::move(point);
+  s.seed = seed;
+  const double t0 = r.measure_start;
+  const double t1 = r.measure_end;
+  s.mean_quality = r.mean_quality();
+  s.p95_quality = r.metrics.quality.percentile_over(t0, t1, 95.0);
+  s.p05_quality = r.metrics.quality.percentile_over(t0, t1, 5.0);
+  s.mean_reserved_mbps = r.mean_reserved_mbps();
+  s.mean_used_cloud_mbps = r.mean_used_cloud_mbps();
+  s.mean_used_peer_mbps = r.mean_used_peer_mbps();
+  s.cost_per_hour = r.mean_vm_cost_rate() + r.mean_storage_cost_rate();
+  s.covered_fraction = r.reserved_covers_used_fraction();
+  s.peak_users = r.metrics.concurrent_users.max_over(t0, t1);
+  s.mean_users = r.mean_concurrent_users();
+  s.arrivals = r.metrics.counters.arrivals;
+  s.sim_events = r.sim_events;
+  return s;
+}
+
+namespace {
+
+const char* const kMetricColumns[] = {
+    "mean_quality",        "p95_quality",          "p05_quality",
+    "mean_reserved_mbps",  "mean_used_cloud_mbps", "mean_used_peer_mbps",
+    "cost_per_hour",       "covered_fraction",     "peak_users",
+    "mean_users",          "arrivals",             "sim_events",
+};
+
+std::vector<std::string> metric_values(const RunSummary& run) {
+  return {
+      util::format_number(run.mean_quality),
+      util::format_number(run.p95_quality),
+      util::format_number(run.p05_quality),
+      util::format_number(run.mean_reserved_mbps),
+      util::format_number(run.mean_used_cloud_mbps),
+      util::format_number(run.mean_used_peer_mbps),
+      util::format_number(run.cost_per_hour),
+      util::format_number(run.covered_fraction),
+      util::format_number(run.peak_users),
+      util::format_number(run.mean_users),
+      std::to_string(run.arrivals),
+      std::to_string(run.sim_events),
+  };
+}
+
+}  // namespace
+
+std::vector<std::string> SweepResult::csv_header() const {
+  std::vector<std::string> header;
+  header.emplace_back("scenario");
+  for (const ParamAxis& axis : axes) header.push_back(axis.name);
+  header.emplace_back("seed");
+  for (const char* column : kMetricColumns) header.emplace_back(column);
+  return header;
+}
+
+std::vector<std::string> SweepResult::csv_row(const RunSummary& run) const {
+  CM_EXPECTS(run.point.coords.size() == axes.size());
+  std::vector<std::string> row;
+  row.push_back(run.scenario);
+  for (const auto& [name, value] : run.point.coords) row.push_back(value);
+  row.push_back(std::to_string(run.seed));
+  for (std::string& value : metric_values(run)) row.push_back(std::move(value));
+  return row;
+}
+
+std::string SweepResult::to_csv() const {
+  std::string out;
+  auto append_line = [&out](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) out += ',';
+      out += util::CsvWriter::escape(fields[i]);
+    }
+    out += '\n';
+  };
+  append_line(csv_header());
+  for (const RunSummary& run : runs) append_line(csv_row(run));
+  return out;
+}
+
+util::JsonValue SweepResult::to_json() const {
+  util::JsonValue root = util::JsonValue::object();
+  root["scenario"] = scenario;
+  // Decimal string: 64-bit seeds do not survive a double round-trip.
+  root["base_seed"] = std::to_string(base_seed);
+  util::JsonValue grid = util::JsonValue::array();
+  for (const ParamAxis& axis : axes) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry["name"] = axis.name;
+    util::JsonValue values = util::JsonValue::array();
+    for (const std::string& value : axis.values) values.push_back(value);
+    entry["values"] = std::move(values);
+    grid.push_back(std::move(entry));
+  }
+  root["grid"] = std::move(grid);
+  util::JsonValue run_array = util::JsonValue::array();
+  for (const RunSummary& run : runs) {
+    util::JsonValue entry = util::JsonValue::object();
+    util::JsonValue params = util::JsonValue::object();
+    for (const auto& [name, value] : run.point.coords) params[name] = value;
+    entry["params"] = std::move(params);
+    entry["seed"] = std::to_string(run.seed);
+    entry["mean_quality"] = run.mean_quality;
+    entry["p95_quality"] = run.p95_quality;
+    entry["p05_quality"] = run.p05_quality;
+    entry["mean_reserved_mbps"] = run.mean_reserved_mbps;
+    entry["mean_used_cloud_mbps"] = run.mean_used_cloud_mbps;
+    entry["mean_used_peer_mbps"] = run.mean_used_peer_mbps;
+    entry["cost_per_hour"] = run.cost_per_hour;
+    entry["covered_fraction"] = run.covered_fraction;
+    entry["peak_users"] = run.peak_users;
+    entry["mean_users"] = run.mean_users;
+    entry["arrivals"] = static_cast<double>(run.arrivals);
+    entry["sim_events"] = static_cast<double>(run.sim_events);
+    run_array.push_back(std::move(entry));
+  }
+  root["runs"] = std::move(run_array);
+  return root;
+}
+
+void SweepResult::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SweepResult: cannot open " + path);
+  out << to_csv();
+}
+
+void SweepResult::write_json(const std::string& path) const {
+  util::write_json_file(path, to_json());
+}
+
+void SweepResult::write(const std::string& base) const {
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) util::ensure_directory(base.substr(0, slash));
+  write_csv(base + ".csv");
+  write_json(base + ".json");
+}
+
+}  // namespace cloudmedia::sweep

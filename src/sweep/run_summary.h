@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/runner.h"
+#include "sweep/param_grid.h"
+#include "util/json.h"
+
+namespace cloudmedia::sweep {
+
+/// One run's SystemMetrics reduced to scalar summaries over the
+/// measurement window. This is the machine-readable unit the sweep engine
+/// emits per grid cell.
+struct RunSummary {
+  std::string scenario;
+  GridPoint point;
+  std::uint64_t seed = 0;
+
+  double mean_quality = 0.0;
+  double p95_quality = 0.0;   ///< 95th percentile of window quality samples
+  double p05_quality = 0.0;   ///< low tail — the SLA-relevant end
+  double mean_reserved_mbps = 0.0;  ///< billed cloud bandwidth
+  double mean_used_cloud_mbps = 0.0;
+  double mean_used_peer_mbps = 0.0;
+  double cost_per_hour = 0.0;       ///< VM + storage $/h
+  double covered_fraction = 0.0;    ///< reserved >= used sample fraction
+  double peak_users = 0.0;
+  double mean_users = 0.0;
+  long arrivals = 0;
+  std::uint64_t sim_events = 0;
+
+  [[nodiscard]] static RunSummary from_result(std::string scenario,
+                                              GridPoint point,
+                                              std::uint64_t seed,
+                                              const expr::ExperimentResult& r);
+};
+
+/// A whole sweep: grid metadata plus one RunSummary per cell, in grid
+/// order (deterministic regardless of worker count). Full per-run
+/// ExperimentResults ride along only when the spec asked to keep them.
+struct SweepResult {
+  std::string scenario;
+  std::uint64_t base_seed = 0;
+  std::vector<ParamAxis> axes;
+  std::vector<RunSummary> runs;
+  std::vector<expr::ExperimentResult> results;  ///< empty unless kept
+
+  /// "scenario,<axis...>,seed,mean_quality,..." — axis columns in grid
+  /// order.
+  [[nodiscard]] std::vector<std::string> csv_header() const;
+  [[nodiscard]] std::vector<std::string> csv_row(const RunSummary& run) const;
+  /// The whole CSV as one string; deliberately in-memory so determinism
+  /// tests can byte-compare without touching the filesystem.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] util::JsonValue to_json() const;
+
+  /// Write to_csv() / to_json() to files (parent directories must exist).
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+  /// Write <base>.csv and <base>.json, creating parent directories.
+  void write(const std::string& base) const;
+};
+
+}  // namespace cloudmedia::sweep

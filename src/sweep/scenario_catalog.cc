@@ -1,0 +1,127 @@
+#include "sweep/scenario_catalog.h"
+
+#include "util/check.h"
+#include "workload/distributions.h"
+
+namespace cloudmedia::sweep {
+
+namespace {
+
+using workload::DiurnalPattern;
+
+ScenarioCatalog build_builtins() {
+  ScenarioCatalog catalog;
+
+  catalog.add({"baseline_diurnal",
+               "paper Sec. VI-A default: 20 Zipf channels, diurnal arrivals "
+               "with two flash crowds",
+               [](expr::ExperimentConfig&) {}});
+
+  catalog.add({"flash_crowd",
+               "quiet base load broken by two steep, short-lived crowds "
+               "(3x spikes, ~25-minute sigma)",
+               [](expr::ExperimentConfig& cfg) {
+                 cfg.workload.diurnal = DiurnalPattern(
+                     0.55, {{12.0, 3.0, 0.4}, {20.5, 3.4, 0.45}});
+               }});
+
+  catalog.add({"weekend_surge",
+               "sustained high plateau with one broad evening peak — the "
+               "all-day-viewing weekend shape",
+               [](expr::ExperimentConfig& cfg) {
+                 cfg.workload.diurnal =
+                     DiurnalPattern(1.1, {{15.0, 0.8, 3.0}, {21.0, 1.2, 2.0}});
+                 cfg.workload.total_arrival_rate *= 1.15;
+               }});
+
+  catalog.add({"churn_heavy",
+               "zapping viewers: short sessions, frequent VCR jumps; arrival "
+               "rate raised to hold population near the paper's scale",
+               [](expr::ExperimentConfig& cfg) {
+                 cfg.workload.behavior.leave_prob = 0.30;
+                 cfg.workload.behavior.jump_prob = 0.40;
+                 cfg.workload.behavior.alpha = 0.5;
+                 cfg.workload.total_arrival_rate *= 2.4;
+               }});
+
+  catalog.add({"long_tail_catalog",
+               "80 channels under a flatter Zipf (exponent 0.6): most "
+               "channels sit in the thin tail the pooled sizing must protect",
+               [](expr::ExperimentConfig& cfg) {
+                 cfg.workload.num_channels = 80;
+                 cfg.workload.zipf_exponent = 0.6;
+               }});
+
+  catalog.add({"geo_skewed",
+               "two viewer populations 8 hours apart: each contributes the "
+               "paper's two crowds at half amplitude, shifted by timezone",
+               [](expr::ExperimentConfig& cfg) {
+                 const DiurnalPattern base = DiurnalPattern::paper_default();
+                 const DiurnalPattern shifted = base.shifted(8.0);
+                 std::vector<DiurnalPattern::Peak> peaks;
+                 for (DiurnalPattern::Peak peak : base.peaks()) {
+                   peak.amplitude *= 0.5;
+                   peaks.push_back(peak);
+                 }
+                 for (DiurnalPattern::Peak peak : shifted.peaks()) {
+                   peak.amplitude *= 0.5;
+                   peaks.push_back(peak);
+                 }
+                 cfg.workload.diurnal = DiurnalPattern(base.base(), peaks);
+               }});
+
+  return catalog;
+}
+
+}  // namespace
+
+ScenarioCatalog ScenarioCatalog::with_builtins() { return build_builtins(); }
+
+const ScenarioCatalog& ScenarioCatalog::global() {
+  static const ScenarioCatalog catalog = build_builtins();
+  return catalog;
+}
+
+void ScenarioCatalog::add(Scenario scenario) {
+  CM_EXPECTS(!scenario.name.empty());
+  CM_EXPECTS(scenario.tweak != nullptr);
+  const auto [it, inserted] =
+      scenarios_.emplace(scenario.name, std::move(scenario));
+  if (!inserted) {
+    throw util::PreconditionError("duplicate scenario '" + it->first + "'");
+  }
+}
+
+bool ScenarioCatalog::contains(const std::string& name) const {
+  return scenarios_.count(name) > 0;
+}
+
+const Scenario& ScenarioCatalog::at(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  if (it == scenarios_.end()) {
+    std::string known;
+    for (const std::string& registered : names()) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    throw util::PreconditionError("unknown scenario '" + name +
+                                  "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+expr::ExperimentConfig ScenarioCatalog::make_config(
+    const std::string& name, core::StreamingMode mode) const {
+  expr::ExperimentConfig config = expr::ExperimentConfig::make_default(mode);
+  at(name).tweak(config);
+  return config;
+}
+
+}  // namespace cloudmedia::sweep

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/config.h"
+
+namespace cloudmedia::sweep {
+
+/// A named, composable workload scenario: a tweak applied on top of the
+/// paper-default ExperimentConfig. Scenarios shape the *workload*
+/// (arrival pattern, catalog, viewing behaviour); serving-side knobs
+/// (mode, strategy) stay sweepable on top of any scenario.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<void(expr::ExperimentConfig&)> tweak;
+};
+
+/// String-keyed registry of scenarios, so benches, tests, and tools select
+/// workloads by name ("flash_crowd") instead of re-rolling config code.
+class ScenarioCatalog {
+ public:
+  /// The built-in scenarios (baseline_diurnal, flash_crowd, weekend_surge,
+  /// churn_heavy, long_tail_catalog, geo_skewed).
+  [[nodiscard]] static ScenarioCatalog with_builtins();
+  /// Shared immutable instance of with_builtins().
+  [[nodiscard]] static const ScenarioCatalog& global();
+
+  /// Throws util::PreconditionError on a duplicate name or missing tweak.
+  void add(Scenario scenario);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws util::PreconditionError on an unknown name, listing the
+  /// registered ones.
+  [[nodiscard]] const Scenario& at(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// ExperimentConfig::make_default(mode) with the named scenario's tweak
+  /// applied.
+  [[nodiscard]] expr::ExperimentConfig make_config(
+      const std::string& name,
+      core::StreamingMode mode = core::StreamingMode::kClientServer) const;
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+}  // namespace cloudmedia::sweep

@@ -1,0 +1,89 @@
+#include "sweep/sweep_runner.h"
+
+#include <future>
+#include <vector>
+
+#include "sweep/thread_pool.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudmedia::sweep {
+
+void SweepSpec::apply_flags(const expr::Flags& flags) {
+  base_seed = static_cast<std::uint64_t>(
+      flags.get_ll("seed", static_cast<long long>(base_seed)));
+  const long long requested =
+      flags.get_ll("threads", static_cast<long long>(threads));
+  if (requested < 0 || requested > 1024) {
+    throw util::PreconditionError(
+        "--threads must be in [0, 1024] (0 = hardware)");
+  }
+  threads = static_cast<unsigned>(requested);
+  warmup_hours = flags.get("warmup", warmup_hours);
+  measure_hours = flags.get("hours", measure_hours);
+}
+
+std::uint64_t SweepRunner::run_seed(std::uint64_t base_seed,
+                                    const GridPoint& point) {
+  return util::mix64(util::mix64(base_seed) ^ ParamGrid::workload_hash(point));
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec,
+                             const ScenarioCatalog& catalog) {
+  CM_EXPECTS(spec.warmup_hours >= 0.0 && spec.measure_hours > 0.0);
+  const std::size_t n = spec.grid.num_points();
+
+  SweepResult result;
+  result.scenario = spec.scenario;
+  result.base_seed = spec.base_seed;
+  result.axes = spec.grid.axes();
+  result.runs.resize(n);
+  if (spec.keep_results) result.results.resize(n);
+
+  // Fail fast on an unknown scenario before spinning up workers.
+  (void)catalog.at(spec.scenario);
+
+  auto run_one = [&](std::size_t index) {
+    const GridPoint point = spec.grid.point(index);
+    expr::ExperimentConfig config = catalog.make_config(spec.scenario);
+    config.warmup_hours = spec.warmup_hours;
+    config.measure_hours = spec.measure_hours;
+    if (spec.customize) spec.customize(config);
+    for (const auto& [name, value] : point.coords) {
+      apply_parameter(config, name, value);
+    }
+    config.seed = run_seed(spec.base_seed, point);
+    expr::ExperimentResult run_result = expr::ExperimentRunner::run(config);
+    result.runs[index] = RunSummary::from_result(spec.scenario, point,
+                                                 config.seed, run_result);
+    if (spec.keep_results) result.results[index] = std::move(run_result);
+  };
+
+  const unsigned threads =
+      spec.threads == 0 ? ThreadPool::default_threads() : spec.threads;
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+    return result;
+  }
+
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+  }
+  // Drain every future before letting exceptions propagate so no worker is
+  // left writing into `result` after run() unwinds.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace cloudmedia::sweep

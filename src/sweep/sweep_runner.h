@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "expr/flags.h"
+#include "sweep/param_grid.h"
+#include "sweep/run_summary.h"
+#include "sweep/scenario_catalog.h"
+
+namespace cloudmedia::sweep {
+
+/// Everything that defines one sweep: the scenario, the grid, the seed,
+/// and the schedule. Results are bitwise-identical for any `threads`
+/// value because each run owns a private Simulator + StreamingSystem and
+/// a seed derived only from (base_seed, workload coordinates).
+struct SweepSpec {
+  std::string scenario = "baseline_diurnal";
+  ParamGrid grid;               ///< empty grid = one unmodified run
+  std::uint64_t base_seed = 42;
+  unsigned threads = 1;         ///< 0 = ThreadPool::default_threads()
+  double warmup_hours = 1.0;
+  double measure_hours = 6.0;
+  /// Retain each run's full ExperimentResult (series data) in
+  /// SweepResult::results. Off by default: summaries are cheap, series for
+  /// a big grid are not.
+  bool keep_results = false;
+  /// Extra config tweak applied after the scenario, before the grid point
+  /// (benches use this for knobs that are not grid axes).
+  std::function<void(expr::ExperimentConfig&)> customize;
+
+  /// Read the shared schedule flags — --seed, --threads, --warmup, --hours
+  /// — with the spec's current values as defaults. The one place the
+  /// string-to-spec conversion (and its validation: --threads must be
+  /// >= 0, 0 meaning "hardware") lives for every sweep binary.
+  void apply_flags(const expr::Flags& flags);
+};
+
+/// Fans a ParamGrid out across a ThreadPool; one ExperimentRunner::run per
+/// grid cell, results collected in grid order.
+class SweepRunner {
+ public:
+  /// The per-run seed: base_seed mixed with the hash of the point's
+  /// workload-shaping coordinates. Runs differing only in system policy
+  /// (mode, strategy, budgets) share a seed and therefore replay the
+  /// byte-identical user population.
+  [[nodiscard]] static std::uint64_t run_seed(std::uint64_t base_seed,
+                                              const GridPoint& point);
+
+  /// Execute the sweep. Throws (first failure wins, in grid order) if any
+  /// run throws.
+  [[nodiscard]] static SweepResult run(
+      const SweepSpec& spec,
+      const ScenarioCatalog& catalog = ScenarioCatalog::global());
+};
+
+}  // namespace cloudmedia::sweep

@@ -1,0 +1,159 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace cloudmedia::util {
+
+std::string format_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral values (the common case for counters) print exactly.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  CM_EXPECTS(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  CM_EXPECTS(type_ == Type::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, JsonValue());
+  return object_.back().second;
+}
+
+std::size_t JsonValue::size() const noexcept {
+  switch (type_) {
+    case Type::kArray: return array_.size();
+    case Type::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+std::string JsonValue::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+             : std::string();
+  const char* nl = pretty ? "\n" : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += format_number(number_); break;
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < object_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+void write_json_file(const std::string& path, const JsonValue& value,
+                     int indent) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json_file: cannot open " + path);
+  out << value.dump(indent) << '\n';
+}
+
+}  // namespace cloudmedia::util

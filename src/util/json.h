@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudmedia::util {
+
+/// Render a double the way the sweep outputs need it: shortest-ish decimal
+/// at 10 significant digits, integral values without a trailing ".0", and
+/// non-finite values as "null" (JSON has no NaN/Inf). Shared by the CSV and
+/// JSON emitters so a value formats identically in both files.
+[[nodiscard]] std::string format_number(double value);
+
+/// Minimal ordered JSON document builder (write-only: no parsing). Objects
+/// preserve insertion order so emitted files are byte-stable run to run.
+///
+///   JsonValue root = JsonValue::object();
+///   root["name"] = "sweep";
+///   root["runs"].push_back(JsonValue::object());
+///   std::string text = root.dump(2);
+///
+/// Numbers are stored as doubles; values that must survive at full 64-bit
+/// precision (e.g. RNG seeds) should be stored as decimal strings.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}         // NOLINT
+  JsonValue(int n) : JsonValue(static_cast<double>(n)) {}           // NOLINT
+  JsonValue(std::string s)                                          // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}           // NOLINT
+
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+
+  /// Append to an array (null coerces to an empty array first).
+  void push_back(JsonValue value);
+  /// Object member access; inserts a null member if missing (null coerces
+  /// to an empty object first). Throws PreconditionError on non-objects.
+  JsonValue& operator[](const std::string& key);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialize. indent < 0 emits one compact line; indent >= 0 pretty-
+  /// prints with that many spaces per level and a trailing newline at the
+  /// top call only if the caller adds one.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// JSON string escaping (quotes, backslashes, control chars).
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Write `value.dump(indent)` plus a trailing newline to `path`; throws
+/// std::runtime_error when the file cannot be opened.
+void write_json_file(const std::string& path, const JsonValue& value,
+                     int indent = 2);
+
+}  // namespace cloudmedia::util

@@ -81,6 +81,28 @@ double TimeSeries::max_value() const {
   return values_.empty() ? 0.0 : best;
 }
 
+double TimeSeries::max_over(double t0, double t1) const {
+  CM_EXPECTS(t0 <= t1);
+  double best = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  const auto lo = std::lower_bound(times_.begin(), times_.end(), t0);
+  for (auto it = lo; it != times_.end() && *it < t1; ++it) {
+    best = std::max(best, values_[static_cast<std::size_t>(it - times_.begin())]);
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+double TimeSeries::percentile_over(double t0, double t1, double p) const {
+  CM_EXPECTS(t0 <= t1);
+  std::vector<double> window;
+  const auto lo = std::lower_bound(times_.begin(), times_.end(), t0);
+  for (auto it = lo; it != times_.end() && *it < t1; ++it) {
+    window.push_back(values_[static_cast<std::size_t>(it - times_.begin())]);
+  }
+  return percentile(std::move(window), p);
+}
+
 TimeSeries TimeSeries::resample(double t0, double width) const {
   CM_EXPECTS(width > 0.0);
   TimeSeries out;
@@ -100,6 +122,17 @@ TimeSeries TimeSeries::resample(double t0, double width) const {
     out.add(window, acc / static_cast<double>(n));
   }
   return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  CM_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
 }
 
 LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {

@@ -48,6 +48,11 @@ class TimeSeries {
   /// Mean over the whole series.
   [[nodiscard]] double mean() const;
   [[nodiscard]] double max_value() const;
+  /// Max of values with t in [t0, t1); 0 when the window is empty.
+  [[nodiscard]] double max_over(double t0, double t1) const;
+  /// Percentile (0..100, linear interpolation) of values with t in
+  /// [t0, t1); 0 when the window is empty.
+  [[nodiscard]] double percentile_over(double t0, double t1, double p) const;
 
   /// Bucket the series into fixed-width windows starting at t0; each output
   /// point is (window start, mean of samples in window). Empty windows are
@@ -58,6 +63,10 @@ class TimeSeries {
   std::vector<double> times_;
   std::vector<double> values_;
 };
+
+/// Percentile of a sample (p in [0, 100], linear interpolation between
+/// order statistics, numpy-style). Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
 
 /// Ordinary least squares y = a + b x; used by the figure-7 bench to report
 /// the linear growth of client-server bandwidth with channel size.

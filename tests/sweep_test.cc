@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sweep/param_grid.h"
+#include "sweep/run_summary.h"
+#include "sweep/scenario_catalog.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/thread_pool.h"
+#include "testing/seeds.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace cloudmedia::sweep {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&done] { ++done; });
+    }
+  }  // destructor must wait for every queued task
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+// -------------------------------------------------------------- ParamGrid
+
+TEST(ParamGrid, EmptyGridIsOnePoint) {
+  ParamGrid grid;
+  EXPECT_EQ(grid.num_points(), 1u);
+  EXPECT_TRUE(grid.point(0).coords.empty());
+}
+
+TEST(ParamGrid, CartesianProductDecodesInOrder) {
+  ParamGrid grid;
+  grid.add_axis("channels", {"4", "8"});
+  grid.add_axis("mode", {"cs", "p2p"});
+  ASSERT_EQ(grid.num_points(), 4u);
+  // First axis slowest, last fastest.
+  EXPECT_EQ(grid.point(0).label(), "channels=4,mode=cs");
+  EXPECT_EQ(grid.point(1).label(), "channels=4,mode=p2p");
+  EXPECT_EQ(grid.point(2).label(), "channels=8,mode=cs");
+  EXPECT_EQ(grid.point(3).label(), "channels=8,mode=p2p");
+}
+
+TEST(ParamGrid, ParseSpecs) {
+  const ParamGrid grid =
+      ParamGrid::parse({"channels=4,8", "mode=cs,p2p", "arrival=0.5"});
+  ASSERT_EQ(grid.axes().size(), 3u);
+  EXPECT_EQ(grid.axes()[0].name, "channels");
+  EXPECT_EQ(grid.axes()[1].values, (std::vector<std::string>{"cs", "p2p"}));
+  EXPECT_EQ(grid.num_points(), 4u);
+}
+
+TEST(ParamGrid, RejectsBadSpecs) {
+  EXPECT_THROW(ParamGrid::parse({"channels"}), util::PreconditionError);
+  EXPECT_THROW(ParamGrid::parse({"=4"}), util::PreconditionError);
+  EXPECT_THROW(ParamGrid::parse({"channels="}), util::PreconditionError);
+  EXPECT_THROW(ParamGrid::parse({"channels=4,,8"}), util::PreconditionError);
+  EXPECT_THROW(ParamGrid::parse({"no_such_param=1"}), util::PreconditionError);
+  EXPECT_THROW(ParamGrid::parse({"mode=cs", "mode=p2p"}),
+               util::PreconditionError);
+}
+
+TEST(ParamGrid, ApplyParameterMutatesConfig) {
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  apply_parameter(cfg, "channels", "7");
+  apply_parameter(cfg, "mode", "p2p");
+  apply_parameter(cfg, "strategy", "reactive");
+  apply_parameter(cfg, "arrival", "0.25");
+  EXPECT_EQ(cfg.workload.num_channels, 7);
+  EXPECT_EQ(cfg.mode, core::StreamingMode::kP2p);
+  EXPECT_EQ(cfg.strategy, expr::Strategy::kReactive);
+  EXPECT_DOUBLE_EQ(cfg.workload.total_arrival_rate, 0.25);
+}
+
+TEST(ParamGrid, ApplyParameterRejectsJunk) {
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  EXPECT_THROW(apply_parameter(cfg, "bogus", "1"), util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "channels", "four"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "channels", "4x"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "mode", "hybrid"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "strategy", "magic"),
+               util::PreconditionError);
+}
+
+TEST(ParamGrid, EveryKnownParameterApplies) {
+  // The registry must stay applyable end to end; representative values.
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  for (const std::string& name : known_parameters()) {
+    (void)parameter_affects_workload(name);  // must not throw
+    if (name == "mode") {
+      apply_parameter(cfg, name, "p2p");
+    } else if (name == "strategy") {
+      apply_parameter(cfg, name, "clairvoyant");
+    } else if (name == "capacity") {
+      apply_parameter(cfg, name, "literal");
+    } else if (name == "channels") {
+      apply_parameter(cfg, name, "5");
+    } else {
+      apply_parameter(cfg, name, "0.5");
+    }
+  }
+  cfg.reactive_margin = 1.2;  // 0.5 violates validate(); restore
+  cfg.workload.behavior.validate();
+}
+
+// ------------------------------------------------------ per-run seeding
+
+TEST(SweepRunner, SeedIgnoresSystemSideAxes) {
+  ParamGrid grid;
+  grid.add_axis("channels", {"4", "8"});
+  grid.add_axis("mode", {"cs", "p2p"});
+  // Same channels, different mode -> same workload -> same seed.
+  EXPECT_EQ(SweepRunner::run_seed(42, grid.point(0)),
+            SweepRunner::run_seed(42, grid.point(1)));
+  // Different channels -> different workload stream.
+  EXPECT_NE(SweepRunner::run_seed(42, grid.point(0)),
+            SweepRunner::run_seed(42, grid.point(2)));
+  // Base seed feeds in.
+  EXPECT_NE(SweepRunner::run_seed(42, grid.point(0)),
+            SweepRunner::run_seed(43, grid.point(0)));
+}
+
+TEST(SweepRunner, SeedIsStableAcrossProcesses) {
+  // Pin the derivation: a silent change would invalidate archived sweeps.
+  ParamGrid grid;
+  grid.add_axis("channels", {"4"});
+  const std::uint64_t seed = SweepRunner::run_seed(42, grid.point(0));
+  EXPECT_EQ(seed, SweepRunner::run_seed(42, grid.point(0)));
+  EXPECT_NE(seed, 42u);
+}
+
+// -------------------------------------------------------- ScenarioCatalog
+
+TEST(ScenarioCatalog, RegistersTheSixBuiltins) {
+  const std::vector<std::string> names = ScenarioCatalog::global().names();
+  const std::set<std::string> expected = {
+      "baseline_diurnal", "flash_crowd",       "weekend_surge",
+      "churn_heavy",      "long_tail_catalog", "geo_skewed"};
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(ScenarioCatalog, UnknownNameThrowsWithListing) {
+  try {
+    (void)ScenarioCatalog::global().at("no_such_scenario");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("flash_crowd"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioCatalog, RejectsDuplicates) {
+  ScenarioCatalog catalog = ScenarioCatalog::with_builtins();
+  EXPECT_THROW(
+      catalog.add({"flash_crowd", "dup", [](expr::ExperimentConfig&) {}}),
+      util::PreconditionError);
+}
+
+// Round-trip: every registered scenario must construct a valid config and
+// survive 10 simulated minutes end to end.
+TEST(ScenarioCatalog, EveryBuiltinRunsTenMinutes) {
+  for (const std::string& name : ScenarioCatalog::global().names()) {
+    SCOPED_TRACE(name);
+    SweepSpec spec;
+    spec.scenario = name;
+    spec.base_seed = testing::kGoldenSeed;
+    spec.warmup_hours = 0.0;
+    spec.measure_hours = 10.0 / 60.0;
+    const SweepResult result = SweepRunner::run(spec);
+    ASSERT_EQ(result.runs.size(), 1u);
+    EXPECT_GT(result.runs[0].sim_events, 0u);
+  }
+}
+
+// --------------------------------------------------- end-to-end determinism
+
+SweepSpec small_grid_spec(unsigned threads) {
+  SweepSpec spec;
+  spec.scenario = "flash_crowd";
+  spec.grid.add_axis("channels", {"3", "5"});
+  spec.grid.add_axis("mode", {"cs", "p2p"});
+  spec.base_seed = testing::kGoldenSeed;
+  spec.threads = threads;
+  spec.warmup_hours = 0.1;
+  spec.measure_hours = 0.4;
+  return spec;
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeOutput) {
+  const SweepResult serial = SweepRunner::run(small_grid_spec(1));
+  const SweepResult parallel = SweepRunner::run(small_grid_spec(8));
+  // The acceptance bar: byte-identical CSV and JSON whatever the fan-out.
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_json().dump(), parallel.to_json().dump());
+  ASSERT_EQ(serial.runs.size(), 4u);
+  for (const RunSummary& run : serial.runs) {
+    EXPECT_GT(run.sim_events, 0u);
+    EXPECT_GE(run.mean_quality, 0.0);
+    EXPECT_LE(run.mean_quality, 1.0);
+  }
+}
+
+TEST(SweepRunner, CsvShapeMatchesGrid) {
+  const SweepResult result = SweepRunner::run(small_grid_spec(2));
+  const std::string csv = result.to_csv();
+  // Header + one row per grid cell, each ending in a newline.
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + result.runs.size());
+  EXPECT_EQ(csv.rfind("scenario,channels,mode,seed,mean_quality", 0), 0u);
+  // cs and p2p rows of the same channel count share their seed column.
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.runs[0].seed, result.runs[1].seed);
+  EXPECT_NE(result.runs[0].seed, result.runs[2].seed);
+}
+
+TEST(SweepRunner, KeepResultsRetainsSeries) {
+  SweepSpec spec = small_grid_spec(2);
+  spec.keep_results = true;
+  const SweepResult result = SweepRunner::run(spec);
+  ASSERT_EQ(result.results.size(), 4u);
+  for (const expr::ExperimentResult& r : result.results) {
+    EXPECT_FALSE(r.metrics.quality.empty());
+  }
+}
+
+TEST(SweepSpec, ApplyFlagsReadsScheduleAndValidatesThreads) {
+  {
+    const char* argv[] = {"prog", "--seed=7", "--threads=3", "--hours=2.5"};
+    SweepSpec spec;
+    spec.warmup_hours = 0.5;
+    spec.apply_flags(expr::Flags(4, argv));
+    EXPECT_EQ(spec.base_seed, 7u);
+    EXPECT_EQ(spec.threads, 3u);
+    EXPECT_DOUBLE_EQ(spec.measure_hours, 2.5);
+    EXPECT_DOUBLE_EQ(spec.warmup_hours, 0.5);  // untouched default
+  }
+  {
+    const char* argv[] = {"prog", "--threads=-1"};
+    SweepSpec spec;
+    EXPECT_THROW(spec.apply_flags(expr::Flags(2, argv)),
+                 util::PreconditionError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=99999"};
+    SweepSpec spec;
+    EXPECT_THROW(spec.apply_flags(expr::Flags(2, argv)),
+                 util::PreconditionError);
+  }
+}
+
+TEST(SweepRunner, UnknownScenarioFailsFast) {
+  SweepSpec spec;
+  spec.scenario = "no_such_scenario";
+  EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, DumpEscapingAndShape) {
+  util::JsonValue root = util::JsonValue::object();
+  root["name"] = "a\"b\\c\nd";
+  root["count"] = 3;
+  root["ok"] = true;
+  root["items"].push_back(1.5);
+  root["items"].push_back("x");
+  EXPECT_EQ(root.dump(-1),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"count\":3,\"ok\":true,"
+            "\"items\":[1.5,\"x\"]}");
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  util::JsonValue root = util::JsonValue::object();
+  root["a"] = 1;
+  root["b"].push_back(2);
+  EXPECT_EQ(root.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(util::format_number(3.0), "3");
+  EXPECT_EQ(util::format_number(-41.0), "-41");
+  EXPECT_EQ(util::format_number(0.125), "0.125");
+  EXPECT_EQ(util::format_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+}  // namespace
+}  // namespace cloudmedia::sweep

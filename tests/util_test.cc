@@ -312,6 +312,31 @@ TEST(TimeSeries, MeanOverWindow) {
   EXPECT_DOUBLE_EQ(ts.max_value(), 30.0);
 }
 
+TEST(TimeSeries, MaxAndPercentileOverWindow) {
+  TimeSeries ts;
+  ts.add(0.0, 10.0);
+  ts.add(10.0, 40.0);
+  ts.add(20.0, 30.0);
+  ts.add(30.0, 20.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(0.0, 15.0), 40.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(15.0, 35.0), 30.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(100.0, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.percentile_over(0.0, 40.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.percentile_over(0.0, 40.0, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(ts.percentile_over(0.0, 40.0, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(ts.percentile_over(100.0, 200.0, 50.0), 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);  // sorts
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+  EXPECT_THROW(percentile({1.0}, 101.0), PreconditionError);
+}
+
 TEST(TimeSeries, RejectsBackwardTime) {
   TimeSeries ts;
   ts.add(5.0, 1.0);
