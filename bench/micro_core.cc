@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "core/capacity.h"
@@ -15,6 +16,7 @@
 #include "core/jackson.h"
 #include "core/p2p.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 #include "vod/service_pool.h"
 #include "workload/viewing.h"
 
@@ -211,6 +213,81 @@ void BM_SimulatorCancelHalf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimulatorCancelHalf)->Arg(1 << 16)->Unit(benchmark::kMicrosecond);
+
+// util::Rng sampler cost, new (owned xoshiro256** + specified samplers)
+// vs old (std::mt19937_64 + std::*_distribution, kept here as the
+// reference). The swap bought cross-toolchain byte-stable streams; these
+// benches keep its hot-path cost visible — workload generation draws one
+// exponential per arrival and one uniform per chunk hop.
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngUniformStd(benchmark::State& state) {
+  std::mt19937_64 engine(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(engine));
+}
+BENCHMARK(BM_RngUniformStd);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_int(0, 19));
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RngUniformIntStd(benchmark::State& state) {
+  std::mt19937_64 engine(42);
+  std::uniform_int_distribution<int> dist(0, 19);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(engine));
+}
+BENCHMARK(BM_RngUniformIntStd);
+
+void BM_RngExponential(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(4.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngExponentialStd(benchmark::State& state) {
+  std::mt19937_64 engine(42);
+  std::exponential_distribution<double> dist(0.25);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(engine));
+}
+BENCHMARK(BM_RngExponentialStd);
+
+void BM_RngNormal(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngNormalStd(benchmark::State& state) {
+  std::mt19937_64 engine(42);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(engine));
+}
+BENCHMARK(BM_RngNormalStd);
+
+void BM_RngWeightedIndex(benchmark::State& state) {
+  util::Rng rng(42);
+  const std::vector<double> weights{1.0, 3.0, 6.0, 2.0, 8.0};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.weighted_index(weights));
+}
+BENCHMARK(BM_RngWeightedIndex);
+
+void BM_RngDerive(benchmark::State& state) {
+  const util::Rng root(42);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    util::Rng derived = root.derive(7, id++);
+    benchmark::DoNotOptimize(derived.next_u64());
+  }
+}
+BENCHMARK(BM_RngDerive);
 
 void BM_ServicePoolChurn(benchmark::State& state) {
   for (auto _ : state) {

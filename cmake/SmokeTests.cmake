@@ -26,11 +26,19 @@ endif()
 
 if(CLOUDMEDIA_BUILD_TOOLS)
   add_smoke_test(diag_hourly tool_diag_hourly --hours=2 --seed=42)
-  # Small demo grid through the sweep engine; CI uploads its CSV/JSON.
-  add_smoke_test(sweep_demo tool_sweep
-    --scenario=flash_crowd --grid=channels=4,8 --grid=mode=cs,p2p
-    --threads=4 --hours=1 --warmup=0.25 --seed=42
+  # The sweep_demo golden preset (the same grid the goldens/ snapshot
+  # pins); CI uploads its CSV/JSON.
+  add_smoke_test(sweep_demo tool_sweep --golden=sweep_demo --threads=4
     --out=${CMAKE_BINARY_DIR}/artifacts/sweep_demo)
+  # Gate the smoke tier on the checked-in snapshot: the demo output just
+  # written above must diff clean against goldens/sweep_demo.json.
+  add_smoke_test(golden_diff tool_sweep --diff
+    ${CMAKE_BINARY_DIR}/artifacts/sweep_demo.json
+    ${PROJECT_SOURCE_DIR}/goldens/sweep_demo.json
+    --out=${CMAKE_BINARY_DIR}/artifacts/golden_diff.json)
+  if(TEST smoke.golden_diff)
+    set_tests_properties(smoke.golden_diff PROPERTIES DEPENDS smoke.sweep_demo)
+  endif()
 endif()
 
 # The sweep engine's contract tests — thread-count determinism and the

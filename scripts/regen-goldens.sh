@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in golden sweep snapshots (goldens/*.{csv,json}).
+#
+# The snapshots pin the exact CSV/JSON output of the frozen golden presets
+# (src/sweep/goldens.cc) at kGoldenSeed. Rerun this ONLY after a deliberate
+# change to provisioning behavior, the util::Rng stream, the sweep output
+# schema, or a preset definition — then commit the moved goldens together
+# with the change and say in the commit message why they moved. A golden
+# diff you cannot explain is a regression, not a reason to regenerate.
+#
+# Usage: scripts/regen-goldens.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j --target tool_sweep > /dev/null
+TOOL="$BUILD_DIR/tools/tool_sweep"
+
+mkdir -p goldens
+for name in $("$TOOL" --list-goldens); do
+  "$TOOL" --golden="$name" --out="goldens/$name" > /dev/null
+  echo "regenerated goldens/$name.{csv,json}"
+done
+echo "done — review 'git diff goldens/' before committing"

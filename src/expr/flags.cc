@@ -4,11 +4,15 @@
 
 namespace cloudmedia::expr {
 
-Flags::Flags(int argc, const char* const* argv) {
+Flags::Flags(int argc, const char* const* argv, bool allow_positionals) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected positional argument: " + arg);
+      if (!allow_positionals) {
+        throw std::invalid_argument("unexpected positional argument: " + arg);
+      }
+      positionals_.push_back(std::move(arg));
+      continue;
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');

@@ -10,10 +10,17 @@ namespace cloudmedia::expr {
 /// accepts `--key=value` and `--key value`; bare `--key` means "true".
 /// A flag may repeat (`--grid a=1 --grid b=2`): scalar getters return the
 /// last occurrence, get_all() returns every occurrence in order.
-/// Unknown positional arguments throw (benches take no positionals).
+/// Unknown positional arguments throw (benches take no positionals) unless
+/// the caller opts in, in which case non-flag tokens that were not consumed
+/// as a `--key value` value collect into positionals() in order.
 class Flags {
  public:
-  Flags(int argc, const char* const* argv);
+  Flags(int argc, const char* const* argv, bool allow_positionals = false);
+
+  /// Non-flag arguments, in command-line order (opt-in; see constructor).
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
@@ -28,6 +35,7 @@ class Flags {
 
  private:
   std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace cloudmedia::expr

@@ -1,0 +1,76 @@
+#include "sweep/goldens.h"
+
+#include "util/check.h"
+
+namespace cloudmedia::sweep {
+
+namespace {
+
+GoldenPreset make_preset(std::string name, std::string description,
+                         std::string scenario, double warmup_hours,
+                         double measure_hours) {
+  GoldenPreset preset;
+  preset.name = std::move(name);
+  preset.description = std::move(description);
+  preset.spec.scenario = std::move(scenario);
+  preset.spec.base_seed = kGoldenSeed;
+  preset.spec.threads = 0;  // output is thread-count-invariant by contract
+  preset.spec.warmup_hours = warmup_hours;
+  preset.spec.measure_hours = measure_hours;
+  return preset;
+}
+
+std::vector<GoldenPreset> build_presets() {
+  std::vector<GoldenPreset> presets;
+
+  // The CI smoke demo grid: the paper's central C/S-vs-P2P comparison under
+  // a flash crowd, at two channel counts.
+  GoldenPreset demo = make_preset(
+      "sweep_demo", "flash-crowd C/S vs P2P demo grid (the CI smoke sweep)",
+      "flash_crowd", 0.25, 1.0);
+  demo.spec.grid.add_axis("channels", {"4", "8"});
+  demo.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(demo));
+
+  // Downsized Fig. 6 family: both deployment modes over the diurnal
+  // baseline, sharing one derived seed (mode is system-side).
+  GoldenPreset fig06 = make_preset(
+      "fig06_modes", "Fig. 6 family: C/S vs P2P on the diurnal baseline",
+      "baseline_diurnal", 0.5, 2.0);
+  fig06.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(fig06));
+
+  // Downsized provisioning-strategy ablation: every strategy faces the
+  // byte-identical workload, so any provisioning change moves a metric.
+  GoldenPreset strategies = make_preset(
+      "ablation_strategies", "provisioning-strategy ablation, shared workload",
+      "baseline_diurnal", 0.5, 2.0);
+  strategies.spec.grid.add_axis(
+      "strategy",
+      {"model", "model-nofloor", "reactive", "static", "seasonal", "clairvoyant"});
+  presets.push_back(std::move(strategies));
+
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<GoldenPreset>& golden_presets() {
+  static const std::vector<GoldenPreset> presets = build_presets();
+  return presets;
+}
+
+const GoldenPreset& golden_preset(const std::string& name) {
+  for (const GoldenPreset& preset : golden_presets()) {
+    if (preset.name == name) return preset;
+  }
+  std::string known;
+  for (const GoldenPreset& preset : golden_presets()) {
+    if (!known.empty()) known += ", ";
+    known += preset.name;
+  }
+  throw util::PreconditionError("unknown golden preset '" + name +
+                                "' (known: " + known + ")");
+}
+
+}  // namespace cloudmedia::sweep

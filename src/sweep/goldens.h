@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_runner.h"
+
+namespace cloudmedia::sweep {
+
+/// The seed every golden snapshot is generated at. Mirrors
+/// cloudmedia::testing::kGoldenSeed (tests/testing/seeds.h); the golden
+/// tests assert the two stay equal.
+inline constexpr std::uint64_t kGoldenSeed = 42;
+
+/// A named, frozen sweep specification whose CSV/JSON output is checked in
+/// under goldens/<name>.{csv,json}. The spec is the single source of truth
+/// shared by `tool_sweep --golden=<name>`, scripts/regen-goldens.sh, the
+/// golden_test byte-comparison, and CI's threads-1-vs-N diff job.
+///
+/// Frozen means frozen: changing a preset's grid, horizon, or scenario —
+/// or anything that perturbs the Rng stream it consumes — invalidates the
+/// snapshot and requires a deliberate scripts/regen-goldens.sh commit.
+struct GoldenPreset {
+  std::string name;         ///< file stem under goldens/
+  std::string description;  ///< what regression the snapshot guards
+  SweepSpec spec;
+};
+
+/// All presets, in regeneration order.
+[[nodiscard]] const std::vector<GoldenPreset>& golden_presets();
+
+/// Lookup by name; throws PreconditionError listing the valid names.
+[[nodiscard]] const GoldenPreset& golden_preset(const std::string& name);
+
+}  // namespace cloudmedia::sweep

@@ -1,0 +1,241 @@
+#include "sweep/sweep_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cloudmedia::sweep {
+
+namespace {
+
+std::string cell_label(const util::JsonValue& run) {
+  const util::JsonValue* params =
+      run.is_object() ? run.find("params") : nullptr;
+  if (params == nullptr || !params->is_object() || params->members().empty()) {
+    return "(single run)";
+  }
+  std::string label;
+  for (const auto& [name, value] : params->members()) {
+    if (!label.empty()) label += ',';
+    label += name + '=' + (value.is_string() ? value.as_string() : value.dump(-1));
+  }
+  return label;
+}
+
+std::string header_string(const util::JsonValue& doc, const char* key) {
+  const util::JsonValue* value = doc.is_object() ? doc.find(key) : nullptr;
+  if (value == nullptr) return "(absent)";
+  return value->is_string() ? value->as_string() : value->dump(-1);
+}
+
+const std::vector<util::JsonValue>& runs_of(const util::JsonValue& doc,
+                                            const char* which) {
+  const util::JsonValue* runs = doc.is_object() ? doc.find("runs") : nullptr;
+  if (runs == nullptr || !runs->is_array()) {
+    throw std::runtime_error(std::string("diff_sweeps: document ") + which +
+                             " has no \"runs\" array (not a sweep JSON?)");
+  }
+  return runs->items();
+}
+
+std::string format_value(double value, bool missing) {
+  return missing ? "(missing)" : util::format_number(value);
+}
+
+}  // namespace
+
+std::size_t SweepDiff::num_deltas() const noexcept {
+  std::size_t n = 0;
+  for (const CellDiff& cell : cells) {
+    n += cell.deltas.size() + (cell.seed_mismatch ? 1 : 0);
+  }
+  return n;
+}
+
+std::string SweepDiff::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "sweep diff: %zu cells, %zu metrics compared, tolerance %s\n",
+                cells_compared, metrics_compared,
+                util::format_number(tolerance).c_str());
+  out += line;
+  for (const std::string& note : notes) out += "  header: " + note + "\n";
+  for (const std::string& cell : only_in_a) out += "  only in A: " + cell + "\n";
+  for (const std::string& cell : only_in_b) out += "  only in B: " + cell + "\n";
+  for (const CellDiff& cell : cells) {
+    if (cell.seed_mismatch) {
+      out += "  " + cell.cell + ": seed differs (workloads not comparable)\n";
+    }
+    for (const MetricDelta& delta : cell.deltas) {
+      out += "  " + cell.cell + ": " + delta.metric + " " +
+             format_value(delta.a, delta.a_missing) + " -> " +
+             format_value(delta.b, delta.b_missing);
+      if (!delta.a_missing && !delta.b_missing) {
+        out += " (delta " + util::format_number(delta.delta()) + ")";
+      }
+      out += "\n";
+    }
+  }
+  if (identical()) {
+    out += "identical: no deltas beyond tolerance\n";
+  } else {
+    std::snprintf(line, sizeof line,
+                  "DIFFERS: %zu deltas across %zu cells (+%zu unmatched)\n",
+                  num_deltas(), cells.size(),
+                  only_in_a.size() + only_in_b.size());
+    out += line;
+  }
+  return out;
+}
+
+util::JsonValue SweepDiff::to_json() const {
+  util::JsonValue root = util::JsonValue::object();
+  root["identical"] = identical();
+  root["tolerance"] = tolerance;
+  root["cells_compared"] = static_cast<double>(cells_compared);
+  root["metrics_compared"] = static_cast<double>(metrics_compared);
+  root["num_deltas"] = static_cast<double>(num_deltas());
+  util::JsonValue notes_json = util::JsonValue::array();
+  for (const std::string& note : notes) notes_json.push_back(note);
+  root["notes"] = std::move(notes_json);
+  util::JsonValue a_only = util::JsonValue::array();
+  for (const std::string& cell : only_in_a) a_only.push_back(cell);
+  root["only_in_a"] = std::move(a_only);
+  util::JsonValue b_only = util::JsonValue::array();
+  for (const std::string& cell : only_in_b) b_only.push_back(cell);
+  root["only_in_b"] = std::move(b_only);
+  util::JsonValue cells_json = util::JsonValue::array();
+  for (const CellDiff& cell : cells) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry["cell"] = cell.cell;
+    if (cell.seed_mismatch) entry["seed_mismatch"] = true;
+    util::JsonValue deltas = util::JsonValue::array();
+    for (const MetricDelta& delta : cell.deltas) {
+      util::JsonValue d = util::JsonValue::object();
+      d["metric"] = delta.metric;
+      if (delta.a_missing) {
+        d["a_missing"] = true;
+      } else {
+        d["a"] = delta.a;
+      }
+      if (delta.b_missing) {
+        d["b_missing"] = true;
+      } else {
+        d["b"] = delta.b;
+      }
+      if (!delta.a_missing && !delta.b_missing) d["delta"] = delta.delta();
+      deltas.push_back(std::move(d));
+    }
+    entry["deltas"] = std::move(deltas);
+    cells_json.push_back(std::move(entry));
+  }
+  root["cells"] = std::move(cells_json);
+  return root;
+}
+
+SweepDiff diff_sweeps(const util::JsonValue& a, const util::JsonValue& b,
+                      double tolerance) {
+  SweepDiff diff;
+  diff.tolerance = tolerance;
+
+  for (const char* key : {"scenario", "base_seed"}) {
+    const std::string in_a = header_string(a, key);
+    const std::string in_b = header_string(b, key);
+    if (in_a != in_b) {
+      diff.notes.push_back(std::string(key) + " \"" + in_a + "\" vs \"" +
+                           in_b + "\"");
+    }
+  }
+
+  const std::vector<util::JsonValue>& runs_a = runs_of(a, "A");
+  const std::vector<util::JsonValue>& runs_b = runs_of(b, "B");
+
+  // Cells are matched by grid coordinates, not array position, so sweeps
+  // whose axes were reordered or extended still line up where they overlap.
+  std::vector<std::string> b_labels;
+  b_labels.reserve(runs_b.size());
+  for (const util::JsonValue& run_b : runs_b) {
+    b_labels.push_back(cell_label(run_b));
+  }
+  std::vector<bool> b_matched(runs_b.size(), false);
+  for (const util::JsonValue& run_a : runs_a) {
+    const std::string label = cell_label(run_a);
+    const util::JsonValue* run_b = nullptr;
+    for (std::size_t j = 0; j < runs_b.size(); ++j) {
+      if (!b_matched[j] && b_labels[j] == label) {
+        b_matched[j] = true;
+        run_b = &runs_b[j];
+        break;
+      }
+    }
+    if (run_b == nullptr) {
+      diff.only_in_a.push_back(label);
+      continue;
+    }
+
+    ++diff.cells_compared;
+    CellDiff cell;
+    cell.cell = label;
+    for (const auto& [metric, value_a] : run_a.members()) {
+      if (metric == "params") continue;
+      if (metric == "seed") {
+        const util::JsonValue* seed_b = run_b->find("seed");
+        const std::string sa = value_a.is_string() ? value_a.as_string()
+                                                   : value_a.dump(-1);
+        const std::string sb =
+            seed_b == nullptr
+                ? "(missing)"
+                : (seed_b->is_string() ? seed_b->as_string() : seed_b->dump(-1));
+        cell.seed_mismatch = sa != sb;
+        continue;
+      }
+      if (!value_a.is_number()) continue;
+      ++diff.metrics_compared;
+      MetricDelta delta;
+      delta.metric = metric;
+      delta.a = value_a.as_number();
+      const util::JsonValue* value_b = run_b->find(metric);
+      if (value_b == nullptr || !value_b->is_number()) {
+        delta.b_missing = true;
+        cell.deltas.push_back(std::move(delta));
+        continue;
+      }
+      delta.b = value_b->as_number();
+      const bool both_nan = std::isnan(delta.a) && std::isnan(delta.b);
+      if (!both_nan && !(std::fabs(delta.b - delta.a) <= tolerance)) {
+        cell.deltas.push_back(std::move(delta));
+      }
+    }
+    // Metrics present only in B (e.g. A's schema dropped a column) are a
+    // difference too — scan the other direction.
+    for (const auto& [metric, value_b] : run_b->members()) {
+      if (metric == "params" || metric == "seed" || !value_b.is_number()) {
+        continue;
+      }
+      const util::JsonValue* value_a = run_a.find(metric);
+      if (value_a != nullptr && value_a->is_number()) continue;
+      ++diff.metrics_compared;
+      MetricDelta delta;
+      delta.metric = metric;
+      delta.b = value_b.as_number();
+      delta.a_missing = true;
+      cell.deltas.push_back(std::move(delta));
+    }
+    if (cell.seed_mismatch || !cell.deltas.empty()) {
+      diff.cells.push_back(std::move(cell));
+    }
+  }
+  for (std::size_t j = 0; j < runs_b.size(); ++j) {
+    if (!b_matched[j]) diff.only_in_b.push_back(b_labels[j]);
+  }
+  return diff;
+}
+
+SweepDiff diff_sweep_files(const std::string& path_a, const std::string& path_b,
+                           double tolerance) {
+  return diff_sweeps(util::JsonValue::parse_file(path_a),
+                     util::JsonValue::parse_file(path_b), tolerance);
+}
+
+}  // namespace cloudmedia::sweep

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cloudmedia::sweep {
+
+/// One metric's value in both sweeps for one grid cell. `b_missing` /
+/// `a_missing` mark a metric present in only one document — reported as a
+/// schema difference in either direction, not silently skipped.
+struct MetricDelta {
+  std::string metric;
+  double a = 0.0;
+  double b = 0.0;
+  bool b_missing = false;
+  bool a_missing = false;
+  [[nodiscard]] double delta() const noexcept { return b - a; }
+};
+
+/// One grid cell present in both sweeps with at least one difference.
+struct CellDiff {
+  std::string cell;  ///< "channels=4,mode=cs"; "(single run)" for empty grids
+  bool seed_mismatch = false;  ///< per-run seeds differ: different workloads
+  std::vector<MetricDelta> deltas;
+};
+
+/// Result of comparing two sweep JSON documents cell by cell.
+struct SweepDiff {
+  double tolerance = 0.0;
+  std::size_t cells_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::vector<std::string> notes;      ///< header mismatches (scenario, seed, grid)
+  std::vector<std::string> only_in_a;  ///< cell labels missing from B
+  std::vector<std::string> only_in_b;  ///< cell labels missing from A
+  std::vector<CellDiff> cells;         ///< cells with deltas beyond tolerance
+
+  [[nodiscard]] bool identical() const noexcept {
+    return notes.empty() && only_in_a.empty() && only_in_b.empty() &&
+           cells.empty();
+  }
+  [[nodiscard]] std::size_t num_deltas() const noexcept;
+
+  /// Human-readable report, one line per delta; ends with a verdict line.
+  [[nodiscard]] std::string report() const;
+  /// Machine-readable mirror of report() (CI uploads this as an artifact).
+  [[nodiscard]] util::JsonValue to_json() const;
+};
+
+/// Compare two sweep documents in the schema SweepResult::to_json emits:
+/// cells keyed by scenario + grid coordinates, every numeric run member
+/// compared with |B - A| > tolerance flagged, seeds compared exactly.
+/// Throws std::runtime_error when either document lacks a "runs" array.
+[[nodiscard]] SweepDiff diff_sweeps(const util::JsonValue& a,
+                                    const util::JsonValue& b,
+                                    double tolerance = 0.0);
+
+/// diff_sweeps() over two files written by SweepResult::write_json.
+[[nodiscard]] SweepDiff diff_sweep_files(const std::string& path_a,
+                                         const std::string& path_b,
+                                         double tolerance = 0.0);
+
+}  // namespace cloudmedia::sweep

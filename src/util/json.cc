@@ -1,10 +1,13 @@
 #include "util/json.h"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "util/check.h"
 
@@ -18,10 +21,14 @@ std::string format_number(double value) {
     std::snprintf(buf, sizeof buf, "%.0f", value);
     return buf;
   }
-  std::ostringstream out;
-  out.precision(10);
-  out << value;
-  return out.str();
+  // Shortest decimal that parses back to the same double, so emitted files
+  // are lossless: the golden-snapshot diff compares exact values, and even
+  // 1-ulp provisioning drift moves the bytes instead of hiding under a
+  // fixed-precision rounding.
+  char buf[40];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, result.ptr);
 }
 
 JsonValue JsonValue::array() {
@@ -34,6 +41,259 @@ JsonValue JsonValue::object() {
   JsonValue v;
   v.type_ = Type::kObject;
   return v;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a [begin, end) byte range. Tracks the
+/// current offset for error messages; depth-limited against stack abuse.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JsonValue::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out[key] = parse_value(depth + 1);
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(parse_hex4(), out); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value += static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value += static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value += static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  static void append_utf8(unsigned cp, std::string& out) {
+    // BMP only — sweep documents never emit surrogate pairs; an unpaired
+    // surrogate encodes as-is (WTF-8-style) rather than failing the parse.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    // from_chars, not stod: locale-independent, matching the to_chars
+    // emitter — parsing our own files must not depend on LC_NUMERIC.
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const std::from_chars_result result = std::from_chars(first, last, value);
+    if (result.ec != std::errc() || result.ptr != last) {
+      fail("invalid number '" + std::string(first, last) + "'");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+JsonValue JsonValue::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("JsonValue::parse_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+bool JsonValue::as_bool() const {
+  CM_EXPECTS(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  CM_EXPECTS(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  CM_EXPECTS(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  CM_EXPECTS(type_ == Type::kArray);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  CM_EXPECTS(type_ == Type::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  CM_EXPECTS(type_ == Type::kObject);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw PreconditionError("JsonValue: missing member \"" + key + "\"");
+  }
+  return *value;
 }
 
 void JsonValue::push_back(JsonValue value) {

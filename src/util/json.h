@@ -7,19 +7,23 @@
 
 namespace cloudmedia::util {
 
-/// Render a double the way the sweep outputs need it: shortest-ish decimal
-/// at 10 significant digits, integral values without a trailing ".0", and
+/// Render a double the way the sweep outputs need it: the shortest decimal
+/// that round-trips to the same double (lossless, so golden-snapshot diffs
+/// compare exact values), integral values without a trailing ".0", and
 /// non-finite values as "null" (JSON has no NaN/Inf). Shared by the CSV and
 /// JSON emitters so a value formats identically in both files.
 [[nodiscard]] std::string format_number(double value);
 
-/// Minimal ordered JSON document builder (write-only: no parsing). Objects
-/// preserve insertion order so emitted files are byte-stable run to run.
+/// Minimal ordered JSON document builder and reader. Objects preserve
+/// insertion order so emitted files are byte-stable run to run.
 ///
 ///   JsonValue root = JsonValue::object();
 ///   root["name"] = "sweep";
 ///   root["runs"].push_back(JsonValue::object());
 ///   std::string text = root.dump(2);
+///
+///   JsonValue doc = JsonValue::parse(text);
+///   double n = doc.at("runs").items().size();
 ///
 /// Numbers are stored as doubles; values that must survive at full 64-bit
 /// precision (e.g. RNG seeds) should be stored as decimal strings.
@@ -38,7 +42,34 @@ class JsonValue {
   [[nodiscard]] static JsonValue array();
   [[nodiscard]] static JsonValue object();
 
+  /// Parse a JSON document (the whole string must be one value plus
+  /// whitespace). Throws std::runtime_error with a byte offset on
+  /// malformed input.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+  /// parse() over a whole file; throws std::runtime_error when unreadable.
+  [[nodiscard]] static JsonValue parse_file(const std::string& path);
+
   [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed readers; throw PreconditionError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Array elements (throws unless is_array()).
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  /// Object members in insertion order (throws unless is_object()).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+  /// Object member lookup: nullptr when missing (throws unless is_object()).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws PreconditionError when missing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
 
   /// Append to an array (null coerces to an empty array first).
   void push_back(JsonValue value);

@@ -1,14 +1,61 @@
 #include "util/rng.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace cloudmedia::util {
 
+namespace {
+
+constexpr std::uint64_t kSplitMixGamma = 0x9e3779b97f4a7c15ULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// 64x64 -> 128-bit multiply. The fallback limb decomposition produces the
+/// exact same bits as the __int128 path, so the stream does not depend on
+/// which branch the compiler offers.
+std::uint64_t mul_u64_wide(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t* hi) noexcept {
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  *hi = static_cast<std::uint64_t>(product >> 64);
+  return static_cast<std::uint64_t>(product);
+#else
+  const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+  const std::uint64_t p0 = a_lo * b_lo;
+  const std::uint64_t p1 = a_lo * b_hi;
+  const std::uint64_t p2 = a_hi * b_lo;
+  const std::uint64_t p3 = a_hi * b_hi;
+  const std::uint64_t mid = (p0 >> 32) + (p1 & 0xffffffffULL) + (p2 & 0xffffffffULL);
+  *hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+  return (mid << 32) | (p0 & 0xffffffffULL);
+#endif
+}
+
+}  // namespace
+
 std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
+  x += kSplitMixGamma;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  // Four consecutive SplitMix64 outputs, the seeding the xoshiro authors
+  // recommend. An all-zero state (the one xoshiro fixed point) cannot
+  // survive the guard below.
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = mix64(seed + i * kSplitMixGamma);
+  }
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = kSplitMixGamma;
+  }
 }
 
 Rng Rng::derive(std::uint64_t purpose, std::uint64_t id) const noexcept {
@@ -17,33 +64,85 @@ Rng Rng::derive(std::uint64_t purpose, std::uint64_t id) const noexcept {
   return Rng(s);
 }
 
+std::uint64_t Rng::next_u64() noexcept {
+  // xoshiro256** 1.0 (Blackman & Vigna, public domain reference).
+  const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl64(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::bounded(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded sampling: take the high
+  // 64 bits of x*n, rejecting the sliver of low products that would bias
+  // small residues (one modulo only on the rare rejection path).
+  std::uint64_t hi = 0;
+  std::uint64_t lo = mul_u64_wide(next_u64(), n, &hi);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    while (lo < threshold) {
+      lo = mul_u64_wide(next_u64(), n, &hi);
+    }
+  }
+  return hi;
+}
+
 double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  // 53 high bits -> the canonical equidistributed double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
   CM_EXPECTS(lo <= hi);
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  const double v = lo + uniform() * (hi - lo);
+  // Rounding can land exactly on hi when the span is wide; keep the
+  // half-open contract deterministically.
+  return v < hi ? v : std::nextafter(hi, lo);
 }
 
 int Rng::uniform_int(int lo, int hi) {
   CM_EXPECTS(lo <= hi);
-  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  const std::uint64_t span = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo));
+  return static_cast<int>(static_cast<std::int64_t>(lo) +
+                          static_cast<std::int64_t>(bounded(span + 1)));
 }
 
 double Rng::exponential(double mean) {
   CM_EXPECTS(mean > 0.0);
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  // Inverse CDF: -mean * ln(1 - U). log1p keeps precision near U = 0.
+  return -mean * std::log1p(-uniform());
 }
 
 bool Rng::bernoulli(double p) {
   CM_EXPECTS(p >= 0.0 && p <= 1.0);
-  return std::bernoulli_distribution(p)(engine_);
+  return uniform() < p;
 }
 
 double Rng::normal(double mean, double stddev) {
   CM_EXPECTS(stddev >= 0.0);
-  return std::normal_distribution<double>(mean, stddev)(engine_);
+  if (has_normal_spare_) {
+    has_normal_spare_ = false;
+    return mean + stddev * normal_spare_;
+  }
+  // Marsaglia polar method: draw points in the unit square until one lands
+  // inside the unit circle, then transform the pair into two independent
+  // standard normals (the second is cached for the next call).
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  normal_spare_ = v * factor;
+  has_normal_spare_ = true;
+  return mean + stddev * u * factor;
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {

@@ -1,46 +1,64 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <random>
 #include <vector>
 
 namespace cloudmedia::util {
 
-/// Seeded random-number façade over std::mt19937_64.
+/// Seeded random-number façade over an owned xoshiro256** core.
 ///
 /// Streams are derived, not shared: `Rng::derive(purpose, id)` produces an
 /// independent generator keyed by (seed, purpose, id), so the same entity
 /// (user, channel) sees the same randomness regardless of how unrelated
 /// events interleave. This is what makes compared systems (client-server
 /// vs. P2P vs. baseline provisioners) face identical workloads.
+///
+/// Every bit of the stream is specified by this class — the generator
+/// (SplitMix64-seeded xoshiro256**) and every sampler (53-bit uniform,
+/// Lemire-rejection bounded ints, inverse-CDF exponential, Marsaglia-polar
+/// normal, cumulative-scan weighted index) are implemented here, not
+/// delegated to std::<distribution>, whose algorithms are
+/// implementation-defined. Integer draws are therefore bit-identical on
+/// every toolchain; floating-point samplers additionally depend only on
+/// IEEE-754 arithmetic and libm's log/log1p/sqrt rounding, so checked-in
+/// golden sweep outputs survive a standard-library swap.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+  explicit Rng(std::uint64_t seed) noexcept;
 
   /// Derive an independent stream keyed by (this seed, purpose, id).
   [[nodiscard]] Rng derive(std::uint64_t purpose, std::uint64_t id = 0) const noexcept;
 
-  /// Uniform double in [0, 1).
+  /// Next raw 64-bit word of the xoshiro256** stream. Fully specified —
+  /// golden tests pin this sequence so silent generator changes fail.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
   [[nodiscard]] double uniform();
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi);
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive; unbiased (Lemire rejection).
   [[nodiscard]] int uniform_int(int lo, int hi);
-  /// Exponential with the given mean (mean > 0).
+  /// Exponential with the given mean (mean > 0); inverse CDF.
   [[nodiscard]] double exponential(double mean);
   /// Bernoulli trial.
   [[nodiscard]] bool bernoulli(double p);
-  /// Standard normal.
+  /// Normal via the Marsaglia polar method (one spare cached per pair).
   [[nodiscard]] double normal(double mean, double stddev);
   /// Sample an index from non-negative weights (at least one positive).
   [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
-  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
-  std::uint64_t seed_;
+  /// Unbiased uniform in [0, n), n >= 1.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t n) noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+  double normal_spare_ = 0.0;
+  bool has_normal_spare_ = false;
 };
 
 /// SplitMix64 mix used for deriving stream seeds; exposed for tests.

@@ -51,6 +51,28 @@ TEST(Flags, RejectsPositionalArguments) {
   EXPECT_THROW(make_flags({"positional"}), std::invalid_argument);
 }
 
+TEST(Flags, CollectsPositionalsWhenAllowed) {
+  // tool_sweep --diff a.json b.json relies on this opt-in: flags parse as
+  // usual, and non-flag tokens not consumed as a `--key value` value
+  // collect in order.
+  const std::vector<const char*> argv{"prog", "a.json", "--tol=0.5",
+                                      "b.json"};
+  const Flags f(static_cast<int>(argv.size()), argv.data(),
+                /*allow_positionals=*/true);
+  EXPECT_EQ(f.positionals(),
+            (std::vector<std::string>{"a.json", "b.json"}));
+  EXPECT_EQ(f.get("tol", 0.0), 0.5);
+}
+
+TEST(Flags, SpaceFormValueIsNotAPositional) {
+  const std::vector<const char*> argv{"prog", "--out", "report.json",
+                                      "a.json"};
+  const Flags f(static_cast<int>(argv.size()), argv.data(),
+                /*allow_positionals=*/true);
+  EXPECT_EQ(f.get("out", std::string()), "report.json");
+  EXPECT_EQ(f.positionals(), (std::vector<std::string>{"a.json"}));
+}
+
 TEST(PaperConstants, MatchTheEvaluationSection) {
   EXPECT_DOUBLE_EQ(paper::kQualityClientServer, 0.97);
   EXPECT_DOUBLE_EQ(paper::kQualityP2p, 0.95);

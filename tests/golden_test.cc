@@ -1,0 +1,117 @@
+// Golden-snapshot regression tests: every frozen preset in
+// src/sweep/goldens.cc must reproduce the checked-in goldens/<name>.{csv,json}
+// byte for byte, whatever the thread count. A failure here means either a
+// provisioning regression or an accidental Rng stream change — if the new
+// behavior is intended, regenerate with scripts/regen-goldens.sh and commit
+// the moved snapshots with an explanation.
+//
+// The goldens directory is baked in at configure time
+// (CLOUDMEDIA_GOLDEN_DIR, tests/CMakeLists.txt), so the test runs from any
+// working directory.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sweep/goldens.h"
+#include "sweep/sweep_diff.h"
+#include "sweep/sweep_runner.h"
+#include "testing/seeds.h"
+#include "util/json.h"
+
+namespace cloudmedia::sweep {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open golden file " << path
+                  << " (run scripts/regen-goldens.sh?)";
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string golden_path(const std::string& name, const char* extension) {
+  return std::string(CLOUDMEDIA_GOLDEN_DIR) + "/" + name + "." + extension;
+}
+
+TEST(Goldens, SeedMatchesTestingPolicy) {
+  // One constant, two homes: src/sweep/goldens.h for the library and
+  // tests/testing/seeds.h for the test-seeding policy.
+  EXPECT_EQ(kGoldenSeed, testing::kGoldenSeed);
+}
+
+TEST(Goldens, PresetsAreRegisteredAndDistinct) {
+  ASSERT_FALSE(golden_presets().empty());
+  for (const GoldenPreset& preset : golden_presets()) {
+    SCOPED_TRACE(preset.name);
+    EXPECT_EQ(&golden_preset(preset.name), &preset);
+    EXPECT_EQ(preset.spec.base_seed, kGoldenSeed);
+    EXPECT_FALSE(preset.description.empty());
+  }
+  EXPECT_THROW((void)golden_preset("no_such_preset"), util::PreconditionError);
+}
+
+// The tentpole acceptance bar: in-process runs of every preset match the
+// committed snapshots exactly, on one thread and on many.
+TEST(Goldens, EveryPresetMatchesCommittedSnapshotByteForByte) {
+  for (const GoldenPreset& preset : golden_presets()) {
+    SCOPED_TRACE(preset.name);
+    SweepSpec spec = preset.spec;
+    spec.threads = 1;
+    const SweepResult serial = SweepRunner::run(spec);
+    spec.threads = 8;
+    const SweepResult parallel = SweepRunner::run(spec);
+
+    const std::string csv = serial.to_csv();
+    const std::string json = serial.to_json().dump(2) + "\n";
+    EXPECT_EQ(csv, parallel.to_csv());
+    EXPECT_EQ(json, parallel.to_json().dump(2) + "\n");
+    EXPECT_EQ(csv, read_file(golden_path(preset.name, "csv")));
+    EXPECT_EQ(json, read_file(golden_path(preset.name, "json")));
+  }
+}
+
+// The same guarantee through the diff pipeline: a fresh run diffed against
+// the committed JSON reports zero deltas, exercising the JSON parser and
+// cell matching end to end.
+TEST(Goldens, DiffAgainstCommittedSnapshotIsClean) {
+  const GoldenPreset& preset = golden_preset("sweep_demo");
+  SweepSpec spec = preset.spec;
+  spec.threads = 2;
+  const SweepResult result = SweepRunner::run(spec);
+  const util::JsonValue committed =
+      util::JsonValue::parse(read_file(golden_path(preset.name, "json")));
+  const SweepDiff diff = diff_sweeps(result.to_json(), committed);
+  EXPECT_TRUE(diff.identical()) << diff.report();
+  EXPECT_EQ(diff.cells_compared, result.runs.size());
+  EXPECT_GT(diff.metrics_compared, 0u);
+}
+
+// And the negative control: a perturbed seed must surface as non-zero
+// per-cell deltas plus a seed mismatch, never as a silent pass.
+TEST(Goldens, DiffReportsPerturbedSeed) {
+  const GoldenPreset& preset = golden_preset("sweep_demo");
+  SweepSpec spec = preset.spec;
+  spec.threads = 2;
+  spec.base_seed = kGoldenSeed + 1;
+  const SweepResult perturbed = SweepRunner::run(spec);
+  const util::JsonValue committed =
+      util::JsonValue::parse(read_file(golden_path(preset.name, "json")));
+  const SweepDiff diff = diff_sweeps(perturbed.to_json(), committed);
+  EXPECT_FALSE(diff.identical());
+  EXPECT_GT(diff.num_deltas(), 0u);
+  ASSERT_FALSE(diff.cells.empty());
+  EXPECT_TRUE(diff.cells.front().seed_mismatch);
+  EXPECT_FALSE(diff.notes.empty());  // base_seed header mismatch
+  const std::string report = diff.report();
+  EXPECT_NE(report.find("DIFFERS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudmedia::sweep

@@ -10,6 +10,7 @@
 #include "sweep/param_grid.h"
 #include "sweep/run_summary.h"
 #include "sweep/scenario_catalog.h"
+#include "sweep/sweep_diff.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
 #include "testing/seeds.h"
@@ -323,6 +324,189 @@ TEST(Json, NumberFormatting) {
   EXPECT_EQ(util::format_number(0.125), "0.125");
   EXPECT_EQ(util::format_number(std::numeric_limits<double>::quiet_NaN()),
             "null");
+}
+
+TEST(Json, NumberFormattingRoundTripsExactly) {
+  // Shortest-round-trip formatting is what lets the golden diff compare
+  // exact doubles out of files.
+  for (double value : {1.0 / 3.0, 0.1, 931.5333333333333, 2.5e-15, -7.25e20}) {
+    EXPECT_EQ(std::stod(util::format_number(value)), value);
+  }
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  util::JsonValue root = util::JsonValue::object();
+  root["name"] = "a\"b\\c\nd";
+  root["count"] = 3;
+  root["ratio"] = 0.125;
+  root["ok"] = true;
+  root["none"] = util::JsonValue();
+  root["items"].push_back(1.5);
+  root["items"].push_back("x");
+  root["nested"]["k"] = "v";
+  for (int indent : {-1, 2}) {
+    const util::JsonValue parsed = util::JsonValue::parse(root.dump(indent));
+    EXPECT_EQ(parsed.dump(indent), root.dump(indent));
+  }
+}
+
+TEST(Json, ParseReadAccessors) {
+  const util::JsonValue doc = util::JsonValue::parse(
+      "{\"s\": \"hi\", \"n\": -2.5e2, \"b\": false, \"z\": null,"
+      " \"a\": [1, 2, 3], \"u\": \"caf\\u00e9\"}");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), -250.0);
+  EXPECT_FALSE(doc.at("b").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  ASSERT_TRUE(doc.at("a").is_array());
+  EXPECT_EQ(doc.at("a").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").items()[1].as_number(), 2.0);
+  EXPECT_EQ(doc.at("u").as_string(), "caf\xc3\xa9");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), util::PreconditionError);
+  EXPECT_THROW((void)doc.at("s").as_number(), util::PreconditionError);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\":1} trailing", "[1 2]", "{\"a\" 1}", "\"bad\\qescape\""}) {
+    EXPECT_THROW((void)util::JsonValue::parse(bad), std::runtime_error)
+        << "input: " << bad;
+  }
+}
+
+// ------------------------------------------------------------ sweep diff
+
+util::JsonValue sweep_doc(double quality, const std::string& seed,
+                          const std::string& base_seed = "42") {
+  util::JsonValue doc = util::JsonValue::object();
+  doc["scenario"] = "flash_crowd";
+  doc["base_seed"] = base_seed;
+  util::JsonValue run = util::JsonValue::object();
+  run["params"]["channels"] = "4";
+  run["params"]["mode"] = "cs";
+  run["seed"] = seed;
+  run["mean_quality"] = quality;
+  run["cost_per_hour"] = 12.5;
+  doc["runs"].push_back(std::move(run));
+  return doc;
+}
+
+TEST(SweepDiff, IdenticalDocumentsReportNoDeltas) {
+  const util::JsonValue a = sweep_doc(0.75, "99");
+  const SweepDiff diff = diff_sweeps(a, a);
+  EXPECT_TRUE(diff.identical());
+  EXPECT_EQ(diff.cells_compared, 1u);
+  EXPECT_EQ(diff.metrics_compared, 2u);
+  EXPECT_EQ(diff.num_deltas(), 0u);
+  EXPECT_NE(diff.report().find("identical"), std::string::npos);
+}
+
+TEST(SweepDiff, ReportsPerCellMetricDeltas) {
+  const SweepDiff diff =
+      diff_sweeps(sweep_doc(0.75, "99"), sweep_doc(0.5, "99"));
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.cells.size(), 1u);
+  EXPECT_EQ(diff.cells[0].cell, "channels=4,mode=cs");
+  EXPECT_FALSE(diff.cells[0].seed_mismatch);
+  ASSERT_EQ(diff.cells[0].deltas.size(), 1u);
+  EXPECT_EQ(diff.cells[0].deltas[0].metric, "mean_quality");
+  EXPECT_DOUBLE_EQ(diff.cells[0].deltas[0].delta(), -0.25);
+  EXPECT_NE(diff.report().find("DIFFERS"), std::string::npos);
+  // The JSON report mirrors the text one.
+  const util::JsonValue report = diff.to_json();
+  EXPECT_FALSE(report.at("identical").as_bool());
+  EXPECT_DOUBLE_EQ(report.at("num_deltas").as_number(), 1.0);
+}
+
+TEST(SweepDiff, ToleranceSuppressesSmallDeltas) {
+  EXPECT_TRUE(
+      diff_sweeps(sweep_doc(0.75, "99"), sweep_doc(0.76, "99"), 0.02)
+          .identical());
+  EXPECT_FALSE(
+      diff_sweeps(sweep_doc(0.75, "99"), sweep_doc(0.78, "99"), 0.02)
+          .identical());
+}
+
+TEST(SweepDiff, FlagsSeedAndHeaderMismatches) {
+  const SweepDiff diff =
+      diff_sweeps(sweep_doc(0.75, "99"), sweep_doc(0.75, "100", "43"));
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.cells.size(), 1u);
+  EXPECT_TRUE(diff.cells[0].seed_mismatch);
+  ASSERT_EQ(diff.notes.size(), 1u);
+  EXPECT_NE(diff.notes[0].find("base_seed"), std::string::npos);
+}
+
+TEST(SweepDiff, UnmatchedCellsListedPerSide) {
+  util::JsonValue a = sweep_doc(0.75, "99");
+  util::JsonValue b = sweep_doc(0.75, "99");
+  util::JsonValue extra = util::JsonValue::object();
+  extra["params"]["channels"] = "8";
+  extra["params"]["mode"] = "cs";
+  extra["seed"] = "7";
+  extra["mean_quality"] = 0.9;
+  b["runs"].push_back(std::move(extra));
+  const SweepDiff diff = diff_sweeps(a, b);
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_b[0], "channels=8,mode=cs");
+  EXPECT_TRUE(diff.only_in_a.empty());
+}
+
+TEST(SweepDiff, MissingMetricReportedNotSkipped) {
+  const util::JsonValue a = sweep_doc(0.75, "99");
+  // b lacks cost_per_hour entirely.
+  util::JsonValue b = util::JsonValue::object();
+  b["scenario"] = "flash_crowd";
+  b["base_seed"] = "42";
+  util::JsonValue run = util::JsonValue::object();
+  run["params"]["channels"] = "4";
+  run["params"]["mode"] = "cs";
+  run["seed"] = "99";
+  run["mean_quality"] = 0.75;
+  b["runs"].push_back(std::move(run));
+  const SweepDiff diff = diff_sweeps(a, b);
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.cells.size(), 1u);
+  ASSERT_EQ(diff.cells[0].deltas.size(), 1u);
+  EXPECT_EQ(diff.cells[0].deltas[0].metric, "cost_per_hour");
+  EXPECT_TRUE(diff.cells[0].deltas[0].b_missing);
+
+  // The other direction too: A dropping a metric the golden (B) still has
+  // must fail the gate, not pass it.
+  const SweepDiff reverse = diff_sweeps(b, a);
+  EXPECT_FALSE(reverse.identical());
+  ASSERT_EQ(reverse.cells.size(), 1u);
+  ASSERT_EQ(reverse.cells[0].deltas.size(), 1u);
+  EXPECT_EQ(reverse.cells[0].deltas[0].metric, "cost_per_hour");
+  EXPECT_TRUE(reverse.cells[0].deltas[0].a_missing);
+  EXPECT_NE(reverse.report().find("(missing)"), std::string::npos);
+}
+
+TEST(SweepDiff, RejectsNonSweepDocuments) {
+  EXPECT_THROW(
+      (void)diff_sweeps(util::JsonValue::parse("{\"x\":1}"),
+                        sweep_doc(0.5, "1")),
+      std::runtime_error);
+}
+
+// End to end through files: a real sweep diffed against its own JSON is
+// clean; the same grid at another seed differs in every cell.
+TEST(SweepDiff, EndToEndRunVsPerturbedSeed) {
+  SweepSpec spec = small_grid_spec(2);
+  const SweepResult base = SweepRunner::run(spec);
+  spec.base_seed = testing::kGoldenSeed + 1;
+  const SweepResult perturbed = SweepRunner::run(spec);
+
+  EXPECT_TRUE(diff_sweeps(base.to_json(), base.to_json()).identical());
+  const SweepDiff diff = diff_sweeps(base.to_json(), perturbed.to_json());
+  EXPECT_FALSE(diff.identical());
+  EXPECT_EQ(diff.cells_compared, base.runs.size());
+  EXPECT_GT(diff.num_deltas(), 0u);
+  for (const CellDiff& cell : diff.cells) EXPECT_TRUE(cell.seed_mismatch);
 }
 
 }  // namespace

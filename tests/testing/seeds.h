@@ -4,18 +4,25 @@
 
 namespace cloudmedia::testing {
 
-// Seeding policy for randomized tests (audited in ISSUE 1): every test that
-// draws randomness must construct its util::Rng from a compile-time-fixed
-// seed, so any failure reproduces bit-for-bit with
-// `ctest -R <name> --rerun-failed`. Parameterized sweeps derive their seed
-// from GetParam() through sweep_seed() below; single-case tests use a
-// literal. std::random_device, time-based seeds, and shared global engines
-// are banned in tests.
+// Seeding policy for randomized tests (audited in ISSUE 1, re-audited in
+// ISSUE 3): every test that draws randomness must construct its util::Rng
+// from a compile-time-fixed seed, so any failure reproduces bit-for-bit
+// with `ctest -R <name> --rerun-failed`. Parameterized sweeps derive their
+// seed from GetParam() through sweep_seed() below; single-case tests use a
+// literal. std::random_device, time-based seeds, shared global engines, and
+// std::* distributions are banned in tests.
 //
-// Caveat: std::* distributions are implementation-defined, so streams are
-// reproducible per standard library (libstdc++ here), not across toolchains.
+// Since ISSUE 3, util::Rng owns its generator (SplitMix64-seeded
+// xoshiro256**) and every sampler, so streams are reproducible across
+// standard libraries and toolchains, not just on libstdc++ — the golden
+// snapshots under goldens/ and the pinned-stream tests in rng_test.cc rely
+// on exactly that. The old "reproducible per standard library" caveat is
+// gone; what remains implementation-sensitive is only libm rounding of
+// log/log1p/sqrt inside the floating-point samplers.
 
 /// The default seed for single-instance tests that need one fixed stream.
+/// Must equal sweep::kGoldenSeed (src/sweep/goldens.h), the seed the
+/// goldens/ snapshots are generated at — golden_test.cc asserts this.
 inline constexpr std::uint64_t kGoldenSeed = 42;
 
 /// Derive a sweep seed from a TEST_P parameter. `stride` must be odd and

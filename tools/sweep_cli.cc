@@ -11,17 +11,35 @@
 // Flags: --scenario=baseline_diurnal --grid name=v1,v2 (repeatable)
 //        --threads=<hardware> --hours=6 --warmup=1 --seed=42
 //        --out=results/sweep (writes <out>.csv and <out>.json)
-//        --list (print scenarios + grid parameters and exit)
+//        --golden=<preset> (run a frozen golden preset; grid/scenario/seed/
+//                           horizon come from the preset, --threads still
+//                           applies — output must not depend on it)
+//        --list (print scenarios, grid parameters, golden presets and exit)
+//        --list-goldens (print one golden preset name per line, for scripts)
+//
+// Diff mode — compare two sweep JSON files (same grid + seed, different
+// commits) and report per-cell metric deltas:
+//
+//   tool_sweep --diff a.json b.json [--tol=0] [--out=report.json]
+//
+// Exits 0 when identical within --tol, 1 when any cell differs (CI runs
+// this against the checked-in goldens/ snapshots).
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "expr/flags.h"
+#include "sweep/goldens.h"
 #include "sweep/param_grid.h"
 #include "sweep/scenario_catalog.h"
+#include "sweep/sweep_diff.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/json.h"
 
 using namespace cloudmedia;
 
@@ -41,26 +59,97 @@ void print_listing() {
                     ? "  (workload-shaping: feeds the per-run seed)"
                     : "");
   }
+  std::printf("\ngolden presets (--golden name; snapshots in goldens/):\n");
+  for (const sweep::GoldenPreset& preset : sweep::golden_presets()) {
+    std::printf("  %-20s %s\n", preset.name.c_str(),
+                preset.description.c_str());
+  }
+}
+
+int run_diff(int argc, char** argv) {
+  // Strip the --diff token so the two file paths parse as positionals.
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--diff") rest.push_back(argv[i]);
+  }
+  const expr::Flags flags(static_cast<int>(rest.size()), rest.data(),
+                          /*allow_positionals=*/true);
+  if (flags.positionals().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: tool_sweep --diff a.json b.json [--tol=0] "
+                 "[--out=report.json]\n");
+    return 2;
+  }
+  const double tolerance = flags.get("tol", 0.0);
+  const sweep::SweepDiff diff = sweep::diff_sweep_files(
+      flags.positionals()[0], flags.positionals()[1], tolerance);
+  std::fputs(diff.report().c_str(), stdout);
+  if (flags.has("out")) {
+    const std::string out = flags.get("out", std::string());
+    const std::size_t slash = out.find_last_of('/');
+    if (slash != std::string::npos) {
+      util::ensure_directory(out.substr(0, slash));
+    }
+    util::write_json_file(out, diff.to_json());
+    std::printf("[json] %s\n", out.c_str());
+  }
+  return diff.identical() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--diff") return run_diff(argc, argv);
+  }
+
   const expr::Flags flags(argc, argv);
   if (flags.has("list") || flags.has("help")) {
     print_listing();
     return 0;
   }
+  if (flags.has("list-goldens")) {
+    for (const sweep::GoldenPreset& preset : sweep::golden_presets()) {
+      std::printf("%s\n", preset.name.c_str());
+    }
+    return 0;
+  }
 
   sweep::SweepSpec spec;
-  spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
-  spec.grid = sweep::ParamGrid::parse(flags.get_all("grid"));
-  spec.threads = 0;  // default to hardware
-  spec.warmup_hours = 1.0;
-  spec.measure_hours = 6.0;
-  spec.apply_flags(flags);
+  std::string default_out = "results/sweep";
+  if (flags.has("golden")) {
+    const sweep::GoldenPreset& preset =
+        sweep::golden_preset(flags.get("golden", std::string()));
+    spec = preset.spec;
+    default_out = "results/" + preset.name;
+    // Only the schedule-neutral knob is tunable: the preset's grid, seed,
+    // and horizon define the snapshot. Rejecting the rest beats silently
+    // running something other than what the flags claim.
+    for (const char* frozen : {"scenario", "grid", "seed", "hours", "warmup"}) {
+      if (flags.has(frozen)) {
+        throw util::PreconditionError(
+            std::string("--") + frozen +
+            " conflicts with --golden: the preset freezes it (only "
+            "--threads and --out apply)");
+      }
+    }
+    const long long requested = flags.get_ll("threads", 0);
+    if (requested < 0 || requested > 1024) {
+      throw util::PreconditionError(
+          "--threads must be in [0, 1024] (0 = hardware)");
+    }
+    spec.threads = static_cast<unsigned>(requested);
+  } else {
+    spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
+    spec.grid = sweep::ParamGrid::parse(flags.get_all("grid"));
+    spec.threads = 0;  // default to hardware
+    spec.warmup_hours = 1.0;
+    spec.measure_hours = 6.0;
+    spec.apply_flags(flags);
+  }
 
-  const std::string out = flags.get("out", std::string("results/sweep"));
+  const std::string out = flags.get("out", default_out);
   const unsigned threads =
       spec.threads ? spec.threads : sweep::ThreadPool::default_threads();
 
