@@ -4,46 +4,63 @@
 // instant to 30 minutes and measure what latency level would actually
 // start hurting the hourly control loop.
 //
-// Flags: --hours=24 --seed=42
+// Runs on the sweep engine: the ablation_boot_delay golden preset's
+// boot_delay={0..1800} axis at paper horizons. boot_delay is system-side,
+// so every row faces the byte-identical workload — the latency penalty is
+// the only thing that moves.
+// `tool_sweep --golden=ablation_boot_delay` replays the downsized grid.
+//
+// Flags: --hours=24 --warmup=2 --seed=42 --threads=<hardware>
+//        --out=results/ablation_boot_delay
 
 #include <cstdio>
+#include <string>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 24.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
+
+  sweep::SweepSpec spec = sweep::golden_preset("ablation_boot_delay").spec;
+  spec.warmup_hours = 2.0;
+  spec.measure_hours = 24.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // late-retrieval counters per row
+  spec.apply_flags(flags);
 
   std::printf("Ablation: VM boot latency (client-server, %.0f h per point, "
               "seed %llu; paper measures ~%.0f s)\n",
-              hours, static_cast<unsigned long long>(seed),
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed),
               expr::paper::kVmBootSeconds);
   std::printf("\n%12s %9s %12s %12s %10s\n", "boot delay", "quality",
               "late frac", "reserved", "$/h");
 
-  for (double delay : {0.0, 25.0, 120.0, 600.0, 1800.0}) {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
-    cfg.vm_boot_delay = delay;
-    cfg.warmup_hours = 2.0;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  for (std::size_t k = 0; k < result.runs.size(); ++k) {
+    const sweep::RunSummary& run = result.runs[k];
+    const expr::ExperimentResult& r = result.results[k];
     const double late_fraction =
         r.metrics.counters.chunk_downloads > 0
             ? static_cast<double>(r.metrics.counters.late_downloads) /
                   static_cast<double>(r.metrics.counters.chunk_downloads)
             : 0.0;
-    std::printf("%10.0f s %9.3f %12.4f %9.0f Mb %10.2f\n", delay,
-                r.mean_quality(), late_fraction, r.mean_reserved_mbps(),
+    std::printf("%10s s %9.3f %12.4f %9.0f Mb %10.2f\n",
+                run.point.coords.back().second.c_str(), run.mean_quality,
+                late_fraction, run.mean_reserved_mbps,
                 r.mean_vm_cost_rate());
   }
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_boot_delay"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
 
   std::printf("\nreading: against a 1-hour provisioning interval and a\n"
               "5-minute playback deadline, the paper's 25-second boot is\n"

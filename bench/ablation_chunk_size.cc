@@ -5,71 +5,71 @@
 // transmission efficiency. We have experimented with different chunk sizes
 // and identified the one presented here [T0 = 5 min] as the best."
 //
-// We sweep T0 over a 100-minute video (J = 100 min / T0), keeping the mean
-// seek interval at 15 minutes (so the per-chunk jump probability scales
-// with T0), and measure quality, reserved bandwidth, cost, and the VM
-// churn that footnote 3 worries about.
+// Runs on the sweep engine: the ablation_chunk_size golden preset's
+// chunk_minutes axis at paper horizons. The chunk_minutes applier
+// (sweep/param_grid.cc) sweeps T0 over a 100-minute video (J = 100 / T0)
+// while keeping the physical seek (15 min) and departure (37 min)
+// processes fixed, so the per-chunk jump/leave probabilities follow the
+// competing-risks formula. Other T0 values:
+// `tool_sweep --scenario=baseline_diurnal --grid mode=p2p --grid
+//  chunk_minutes=1,2.5,5`.
 //
-// Flags: --hours=16 --seed=42
+// Flags: --hours=16 --warmup=2 --seed=42 --threads=<hardware>
+//        --out=results/ablation_chunk_size
 
 #include <cmath>
 #include <cstdio>
-#include <vector>
+#include <string>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 16.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
-  const double video_minutes = 100.0;
-  const double seek_interval_minutes = 15.0;
 
-  std::printf("Ablation: chunk size T0 (P2P, %.0f-minute videos, %.0f h per "
+  sweep::SweepSpec spec = sweep::golden_preset("ablation_chunk_size").spec;
+  spec.warmup_hours = 2.0;
+  spec.measure_hours = 16.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // VM-boot and late-retrieval counters per row
+  spec.apply_flags(flags);
+
+  std::printf("Ablation: chunk size T0 (P2P, 100-minute videos, %.0f h per "
               "point, seed %llu)\n",
-              video_minutes, hours, static_cast<unsigned long long>(seed));
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
   std::printf("\n%8s %6s %10s %9s %10s %10s %10s %12s\n", "T0 (min)", "J",
               "chunk MB", "quality", "reserved", "$/h", "VM boots",
               "late frac");
 
-  for (double t0_minutes : {1.0, 2.5, 5.0, 10.0, 20.0}) {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
-    cfg.vod.chunk_duration = t0_minutes * 60.0;
-    cfg.vod.chunks_per_video =
-        static_cast<int>(std::lround(video_minutes / t0_minutes));
-    cfg.workload.chunks_per_video = cfg.vod.chunks_per_video;
-    // Keep the physical processes fixed across T0: seeks fire at rate
-    // 1/15 min, departures at rate 1/37 min. Over one chunk the two
-    // exponential risks compete, so
-    //   P(neither) = e^{-(rj+rl) T0},
-    //   P(jump)    = rj/(rj+rl) · (1 - P(neither)),  etc.
-    // which keeps jump+leave <= 1 for any chunk duration.
-    const double rj = 1.0 / seek_interval_minutes;
-    const double rl = 1.0 / 37.0;  // ~37 min mean viewing time
-    const double event_prob = 1.0 - std::exp(-(rj + rl) * t0_minutes);
-    cfg.workload.behavior.jump_prob = event_prob * rj / (rj + rl);
-    cfg.workload.behavior.leave_prob = event_prob * rl / (rj + rl);
-    cfg.warmup_hours = 2.0;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-
-    const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  for (std::size_t k = 0; k < result.runs.size(); ++k) {
+    const sweep::RunSummary& run = result.runs[k];
+    const expr::ExperimentResult& r = result.results[k];
+    const double t0_minutes = std::stod(run.point.coords.back().second);
+    const int chunks = static_cast<int>(std::lround(100.0 / t0_minutes));
+    core::VodParameters vod;
+    vod.chunk_duration = t0_minutes * 60.0;
+    vod.chunks_per_video = chunks;
     const double late_fraction =
         r.metrics.counters.chunk_downloads > 0
             ? static_cast<double>(r.metrics.counters.late_downloads) /
                   static_cast<double>(r.metrics.counters.chunk_downloads)
             : 0.0;
     std::printf("%8.1f %6d %10.1f %9.3f %7.0f Mb %10.2f %10ld %12.4f\n",
-                t0_minutes, cfg.vod.chunks_per_video,
-                cfg.vod.chunk_bytes() / 1e6, r.mean_quality(),
-                r.mean_reserved_mbps(), r.mean_vm_cost_rate(), r.vm_boots,
+                t0_minutes, chunks, vod.chunk_bytes() / 1e6, run.mean_quality,
+                run.mean_reserved_mbps, r.mean_vm_cost_rate(), r.vm_boots,
                 late_fraction);
   }
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_chunk_size"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
 
   std::printf(
       "\nreading: small chunks multiply queues (finer control, more VM\n"

@@ -3,72 +3,140 @@
 // quantified: three regional CloudMedia stacks with staggered diurnal
 // crowds vs one consolidated deployment of the same global audience.
 //
-// Flags: --hours=24 --warmup=4 --seed=42
+// Runs on the sweep engine: the ablation_geo golden preset's
+// region={global,asia,europe,americas} axis. The region applier
+// (sweep/param_grid.cc) reuses FederationRunner::regional_config, so each
+// row is one region's full stack — audience share, shifted clock, regional
+// prices, proportional budget slice — and "global" is the consolidated
+// baseline. region is workload-shaping: every region draws its own viewer
+// population, independently seeded.
+// `tool_sweep --golden=ablation_geo` replays the downsized grid.
+//
+// Flags: --hours=24 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/ablation_geo
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/runner.h"
 #include "geo/federation.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
+#include "util/check.h"
+#include "util/stats.h"
 
 using namespace cloudmedia;
 
+namespace {
+
+/// Peak of the hourly sum of the regions' VM cost rates.
+double federated_peak(const std::vector<const expr::ExperimentResult*>& regions) {
+  double peak = 0.0;
+  const double t0 = regions.front()->measure_start;
+  const double t1 = regions.front()->measure_end;
+  for (double t = t0; t + 3600.0 <= t1 + 1e-9; t += 3600.0) {
+    double sum = 0.0;
+    for (const expr::ExperimentResult* r : regions) {
+      sum += r->metrics.vm_cost_rate.mean_over(t, t + 3600.0);
+    }
+    peak = std::max(peak, sum);
+  }
+  return peak;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 24.0);
-  const double warmup = flags.get("warmup", 4.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  geo::FederationConfig cfg =
+  sweep::SweepSpec spec = sweep::golden_preset("ablation_geo").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 24.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // the peak accounting needs hourly cost series
+  spec.apply_flags(flags);
+
+  const geo::FederationConfig federation =
       geo::FederationConfig::make_default(core::StreamingMode::kP2p);
-  cfg.base.warmup_hours = warmup;
-  cfg.base.measure_hours = hours;
-  cfg.base.seed = seed;
 
   std::printf("Ablation: geo federation (%zu regions, P2P, %.0f h measured, "
               "seed %llu)\n\n",
-              cfg.regions.size(), hours,
-              static_cast<unsigned long long>(seed));
+              federation.regions.size(), spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
 
-  const geo::FederationResult fed = geo::FederationRunner::run(cfg);
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  // Pair rows with their RegionSpec by the region coordinate, not by
+  // position — the preset's axis order and the federation's region list
+  // must not have to stay in lockstep.
+  auto spec_of_region = [&](const std::string& name) -> const geo::RegionSpec& {
+    for (const geo::RegionSpec& region : federation.regions) {
+      if (region.name == name) return region;
+    }
+    throw util::PreconditionError("preset region '" + name +
+                                  "' missing from the default federation");
+  };
+  const expr::ExperimentResult* mono = nullptr;
+  std::vector<const geo::RegionSpec*> region_specs;
+  std::vector<const expr::ExperimentResult*> regions;
+  for (std::size_t k = 0; k < result.runs.size(); ++k) {
+    const std::string& name = result.runs[k].point.coords.back().second;
+    if (name == "global") {
+      mono = &result.results[k];
+    } else {
+      region_specs.push_back(&spec_of_region(name));
+      regions.push_back(&result.results[k]);
+    }
+  }
+  CM_EXPECTS(mono != nullptr && !regions.empty());
 
   std::printf("%-10s %8s %7s %12s %12s %9s\n", "region", "share", "tz",
               "mean $/h", "peak $/h", "quality");
-  for (const geo::RegionResult& region : fed.regions) {
+  double federated_mean = 0.0;
+  double sum_of_regional_peaks = 0.0;
+  double weighted_quality = 0.0;
+  double min_quality = 1.0;
+  for (std::size_t k = 0; k < regions.size(); ++k) {
+    const geo::RegionSpec& region_spec = *region_specs[k];
+    const expr::ExperimentResult& r = *regions[k];
     const util::TimeSeries hourly =
-        region.result.metrics.vm_cost_rate.resample(fed.measure_start, 3600.0);
+        r.metrics.vm_cost_rate.resample(r.measure_start, 3600.0);
     std::printf("%-10s %7.0f%% %+6.0fh %12.2f %12.2f %9.3f\n",
-                region.spec.name.c_str(),
-                100.0 * region.spec.audience_share,
-                region.spec.utc_offset_hours,
-                region.result.mean_vm_cost_rate(), hourly.max_value(),
-                region.result.mean_quality());
+                region_spec.name.c_str(), 100.0 * region_spec.audience_share,
+                region_spec.utc_offset_hours, r.mean_vm_cost_rate(),
+                hourly.max_value(), r.mean_quality());
+    federated_mean += r.mean_vm_cost_rate();
+    sum_of_regional_peaks += hourly.max_value();
+    weighted_quality += region_spec.audience_share * r.mean_quality();
+    min_quality = std::min(min_quality, r.mean_quality());
   }
 
-  // Consolidated baseline: the whole audience on one region's clock.
-  expr::ExperimentConfig consolidated = cfg.base;
-  consolidated.seed = seed;
-  const expr::ExperimentResult mono = expr::ExperimentRunner::run(consolidated);
+  const double global_peak = federated_peak(regions);
   const util::TimeSeries mono_hourly =
-      mono.metrics.vm_cost_rate.resample(mono.measure_start, 3600.0);
+      mono->metrics.vm_cost_rate.resample(mono->measure_start, 3600.0);
 
   std::printf("\n%-28s %12s %12s %14s\n", "", "mean $/h", "peak $/h",
               "peak-to-mean");
   std::printf("%-28s %12.2f %12.2f %14.2f\n", "federated (sum of regions)",
-              fed.global_mean_cost(), fed.global_peak_cost(),
-              fed.global_peak_cost() / fed.global_mean_cost());
+              federated_mean, global_peak, global_peak / federated_mean);
   std::printf("%-28s %12.2f %12.2f %14.2f\n", "consolidated (one clock)",
-              mono.mean_vm_cost_rate(), mono_hourly.max_value(),
-              mono_hourly.max_value() / mono.mean_vm_cost_rate());
+              mono->mean_vm_cost_rate(), mono_hourly.max_value(),
+              mono_hourly.max_value() / mono->mean_vm_cost_rate());
 
   std::printf("\nsum of regional peaks %.2f $/h vs federated global peak "
               "%.2f $/h: multiplexing gain %.2fx\n",
-              fed.sum_of_regional_peaks(), fed.global_peak_cost(),
-              fed.multiplexing_gain());
+              sum_of_regional_peaks, global_peak,
+              sum_of_regional_peaks / global_peak);
   std::printf("worst regional quality %.3f; audience-weighted %.3f\n",
-              fed.min_quality(), fed.weighted_quality());
+              min_quality, weighted_quality);
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_geo"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
+
   std::printf(
       "\nreading: regional crowds peak at different reference hours, so the "
       "federated provider's aggregate bill is flatter (lower peak-to-mean, "

@@ -5,21 +5,28 @@
 // the provisioned requirement m_i * R — flatly contradicting the paper's
 // headline result that P2P cuts the cloud bill ~11x (Figs. 4/10). This
 // bench computes the cloud residual under both readings across peer-uplink
-// ratios, and runs a short end-to-end simulation with each, demonstrating
-// why DESIGN.md adopts the bandwidth-consistent cap as the default.
+// ratios, then runs the end-to-end comparison on the sweep engine: the
+// ablation_p2p_cap golden preset's p2p_cap={literal,bandwidth} axis, both
+// cells facing the byte-identical workload (the cap is system-side), which
+// demonstrates why DESIGN.md adopts the bandwidth-consistent cap as the
+// default. `tool_sweep --golden=ablation_p2p_cap` replays the downsized
+// grid.
 //
-// Flags: --hours=12 --seed=42
+// Flags: --hours=12 --warmup=2 --seed=42 --threads=<hardware>
+//        --out=results/ablation_p2p_cap
 
 #include <cstdio>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/capacity.h"
 #include "core/jackson.h"
 #include "core/p2p.h"
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 #include "util/units.h"
 #include "workload/viewing.h"
 
@@ -71,31 +78,35 @@ int main(int argc, char** argv) {
               util::to_mbps(capacity.total_bandwidth),
               100.0 * params.streaming_rate / params.vm_bandwidth);
 
-  // ------------------------------------------------- end-to-end check
-  const double hours = flags.get("hours", 12.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
-  auto run_with = [&](core::P2pDemandCap cap) {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
-    cfg.p2p.demand_cap = cap;
-    cfg.warmup_hours = 2.0;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return expr::ExperimentRunner::run(cfg);
-  };
-  std::printf("\nend-to-end (%.0f h P2P simulation, seed %llu):\n", hours,
-              static_cast<unsigned long long>(seed));
-  const expr::ExperimentResult literal_run =
-      run_with(core::P2pDemandCap::kStreamingRateLiteral);
-  const expr::ExperimentResult bandwidth_run =
-      run_with(core::P2pDemandCap::kProvisionedBandwidth);
+  // ------------------------------------------- end-to-end on the sweep engine
+  sweep::SweepSpec spec = sweep::golden_preset("ablation_p2p_cap").spec;
+  spec.warmup_hours = 2.0;
+  spec.measure_hours = 12.0;
+  spec.threads = 0;  // default to hardware
+  spec.apply_flags(flags);
+
+  std::printf("\nend-to-end (%.0f h P2P simulation, seed %llu, shared "
+              "workload):\n",
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  // Grid order: p2p_cap={literal,bandwidth}.
+  const sweep::RunSummary& literal_run = result.runs[0];
+  const sweep::RunSummary& bandwidth_run = result.runs[1];
   std::printf("%-24s %12s %12s\n", "", "literal", "bandwidth");
   std::printf("%-24s %12.1f %12.1f\n", "reserved (Mbps)",
-              literal_run.mean_reserved_mbps(), bandwidth_run.mean_reserved_mbps());
-  std::printf("%-24s %12.2f %12.2f\n", "VM cost ($/h)",
-              literal_run.mean_vm_cost_rate(), bandwidth_run.mean_vm_cost_rate());
+              literal_run.mean_reserved_mbps, bandwidth_run.mean_reserved_mbps);
+  std::printf("%-24s %12.2f %12.2f\n", "cost ($/h)",
+              literal_run.cost_per_hour, bandwidth_run.cost_per_hour);
   std::printf("%-24s %12.3f %12.3f\n", "quality",
-              literal_run.mean_quality(), bandwidth_run.mean_quality());
+              literal_run.mean_quality, bandwidth_run.mean_quality);
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_p2p_cap"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
+
   std::printf("\nreading: under the literal cap the P2P deployment reserves "
               "almost as much cloud as client-server — the paper's ~11x "
               "saving is only reproducible with the bandwidth-consistent "

@@ -4,10 +4,14 @@
 //
 //   1. analytically: one-step forecast accuracy on the true diurnal
 //      per-channel rates of the paper workload (no simulation noise);
-//   2. end-to-end: full simulations where the controller runs each
-//      forecaster, reporting reserved bandwidth, quality, and cost.
+//   2. end-to-end on the sweep engine: the ablation_prediction golden
+//      preset's forecaster axis drives the controller through full
+//      simulations, every forecaster facing the byte-identical workload
+//      (the forecaster is system-side). `tool_sweep
+//      --golden=ablation_prediction` replays the downsized grid.
 //
 // Flags: --days=4 --hours=30 --warmup=4 --seed=42 --e2e=true
+//        --threads=<hardware> --out=results/ablation_prediction
 
 #include <cstdio>
 #include <memory>
@@ -19,6 +23,8 @@
 #include "expr/runner.h"
 #include "predict/accuracy.h"
 #include "predict/forecaster.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 #include "workload/scenario.h"
 
 using namespace cloudmedia;
@@ -47,10 +53,7 @@ double true_hourly_rate(const workload::Workload& workload, int channel,
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
   const int days = flags.get("days", 4);
-  const double hours = flags.get("hours", 30.0);
-  const double warmup = flags.get("warmup", 4.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
-  const bool e2e = flags.get("e2e", true);
 
   // --- part 1: forecast accuracy on the true rates ------------------------
   const expr::ExperimentConfig base =
@@ -82,37 +85,34 @@ int main(int argc, char** argv) {
               "forecasters should cut MAE well below persistence (the "
               "paper's predictor), which trails every ramp by one hour.\n");
 
-  if (!e2e) return 0;
+  if (!flags.get("e2e", true)) return 0;
 
-  // --- part 2: end-to-end simulations -------------------------------------
-  const std::vector<predict::ForecasterKind> kinds = {
-      predict::ForecasterKind::kPersistence,
-      predict::ForecasterKind::kMovingAverage,
-      predict::ForecasterKind::kHolt,
-      predict::ForecasterKind::kSeasonalEwma,
-      predict::ForecasterKind::kHoltWinters,
-  };
+  // --- part 2: end to end on the sweep engine ------------------------------
+  sweep::SweepSpec spec = sweep::golden_preset("ablation_prediction").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 30.0;
+  spec.threads = 0;  // default to hardware
+  spec.apply_flags(flags);
 
   std::printf("\nPart 2: end-to-end provisioning (client-server, %.0f h "
-              "measured, seed %llu)\n",
-              hours, static_cast<unsigned long long>(seed));
+              "measured, seed %llu, shared workload)\n",
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
   std::printf("%-16s %10s %10s %9s %9s %10s\n", "forecaster", "reserved",
               "used", "quality", "$/h", "covered");
 
-  for (const predict::ForecasterKind kind : kinds) {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
-    cfg.strategy = expr::Strategy::kForecast;
-    cfg.forecaster = spec_of(kind);
-    cfg.warmup_hours = warmup;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  for (const sweep::RunSummary& run : result.runs) {
     std::printf("%-16s %10.1f %10.1f %9.3f %9.2f %10.3f\n",
-                predict::to_string(kind).c_str(), r.mean_reserved_mbps(),
-                r.mean_used_cloud_mbps(), r.mean_quality(),
-                r.mean_vm_cost_rate(), r.reserved_covers_used_fraction());
+                run.point.coords.back().second.c_str(),
+                run.mean_reserved_mbps, run.mean_used_cloud_mbps,
+                run.mean_quality, run.cost_per_hour, run.covered_fraction);
   }
+
+  const std::string out =
+      flags.get("out", std::string("results/ablation_prediction"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
 
   std::printf(
       "\nreading: all forecasters keep quality high (the Erlang sizing "

@@ -6,37 +6,45 @@
 // the diurnal swings and flash crowds; the P2P curves sit roughly an order
 // of magnitude below the client-server ones.
 //
-// Flags: --hours=100 --warmup=4 --seed=42
+// Runs on the sweep engine: the fig04_provisioning golden preset's
+// mode={cs,p2p} grid at paper horizons, both cells sharing one derived
+// seed (mode is system-side) so the two deployments face the
+// byte-identical viewer population. `tool_sweep --golden=fig04_provisioning`
+// replays the downsized golden schedule of the same grid.
+//
+// Flags: --hours=100 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/fig04_capacity_provisioning
 
 #include <cstdio>
+#include <string>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 100.0);
-  const double warmup = flags.get("warmup", 4.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  auto run_mode = [&](core::StreamingMode mode) {
-    expr::ExperimentConfig cfg = expr::ExperimentConfig::make_default(mode);
-    cfg.warmup_hours = warmup;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return expr::ExperimentRunner::run(cfg);
-  };
+  sweep::SweepSpec spec = sweep::golden_preset("fig04_provisioning").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 100.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // the series tables need the full metrics
+  spec.apply_flags(flags);
 
   std::printf("Figure 4: cloud capacity provisioning vs usage "
               "(%.0f h measured after %.0f h warmup, seed %llu)\n",
-              hours, warmup, static_cast<unsigned long long>(seed));
-  const expr::ExperimentResult cs = run_mode(core::StreamingMode::kClientServer);
-  const expr::ExperimentResult p2p = run_mode(core::StreamingMode::kP2p);
+              spec.measure_hours, spec.warmup_hours,
+              static_cast<unsigned long long>(spec.base_seed));
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  const expr::ExperimentResult& cs = result.results[0];   // mode=cs
+  const expr::ExperimentResult& p2p = result.results[1];  // mode=p2p
 
   expr::print_series_table(
       "Fig. 4 series (Mbps, hourly means)",
@@ -68,5 +76,10 @@ int main(int argc, char** argv) {
   std::printf("paper context: curves oscillate in the 0-%0.0f Mbps band over "
               "~100 h with provisioning above usage throughout\n",
               expr::paper::kFig4MaxMbps);
+
+  const std::string out =
+      flags.get("out", std::string("results/fig04_capacity_provisioning"));
+  result.write(out);
+  std::printf("[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

@@ -5,15 +5,23 @@
 // Paper values: C/S average 0.97, P2P average 0.95 (a small quality price
 // for the large P2P cost saving), with dips at the flash crowds.
 //
-// Flags: --hours=100 --warmup=4 --seed=42
+// Runs on the sweep engine: the fig05_quality golden preset's mode={cs,p2p}
+// grid at paper horizons; both cells share one derived seed.
+// `tool_sweep --golden=fig05_quality` replays the downsized schedule.
+//
+// Flags: --hours=100 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/fig05_streaming_quality
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
@@ -28,22 +36,21 @@ double worst_hourly(const util::TimeSeries& series, double t0) {
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 100.0);
-  const double warmup = flags.get("warmup", 4.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  auto run_mode = [&](core::StreamingMode mode) {
-    expr::ExperimentConfig cfg = expr::ExperimentConfig::make_default(mode);
-    cfg.warmup_hours = warmup;
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return expr::ExperimentRunner::run(cfg);
-  };
+  sweep::SweepSpec spec = sweep::golden_preset("fig05_quality").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 100.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // hourly series + late-retrieval counters
+  spec.apply_flags(flags);
 
   std::printf("Figure 5: average streaming quality (%.0f h, seed %llu)\n",
-              hours, static_cast<unsigned long long>(seed));
-  const expr::ExperimentResult cs = run_mode(core::StreamingMode::kClientServer);
-  const expr::ExperimentResult p2p = run_mode(core::StreamingMode::kP2p);
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  const expr::ExperimentResult& cs = result.results[0];   // mode=cs
+  const expr::ExperimentResult& p2p = result.results[1];  // mode=p2p
 
   expr::print_series_table("Fig. 5 series (smooth-playback fraction, hourly)",
                            {{"C/S quality", &cs.metrics.quality},
@@ -67,5 +74,10 @@ int main(int argc, char** argv) {
               cs.metrics.counters.chunk_downloads,
               p2p.metrics.counters.late_downloads,
               p2p.metrics.counters.chunk_downloads);
+
+  const std::string out =
+      flags.get("out", std::string("results/fig05_streaming_quality"));
+  result.write(out);
+  std::printf("[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

@@ -19,7 +19,7 @@
 
 #include "expr/flags.h"
 #include "expr/runner.h"
-#include "sweep/param_grid.h"
+#include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "util/csv.h"
 
@@ -74,14 +74,12 @@ void print_bucketed(const char* label, const std::vector<Sample>& samples) {
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec;
-  spec.scenario = "baseline_diurnal";
-  spec.grid.add_axis("mode", {"cs", "p2p"});
-  spec.base_seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
-  spec.threads = 2;
-  spec.warmup_hours = flags.get("warmup", 4.0);
-  spec.measure_hours = flags.get("hours", 24.0);
+  sweep::SweepSpec spec = sweep::golden_preset("fig06_modes").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 24.0;
+  spec.threads = 0;  // default to hardware
   spec.keep_results = true;  // the scatter needs the per-channel series
+  spec.apply_flags(flags);
 
   std::printf("Figure 6: channel streaming quality vs channel size "
               "(%.0f h, 20 channels, seed %llu)\n",

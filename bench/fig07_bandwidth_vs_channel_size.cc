@@ -6,16 +6,23 @@
 // P2P stays low and nearly flat ("scales very well") because peers absorb
 // the growth.
 //
-// Flags: --hours=24 --warmup=4 --seed=42
+// Runs on the sweep engine: the fig07_bandwidth_scaling golden preset's
+// mode={cs,p2p} grid, both cells sharing one derived seed; the scatter is
+// harvested from the retained per-channel series.
+// `tool_sweep --golden=fig07_bandwidth_scaling` replays the downsized grid.
+//
+// Flags: --hours=24 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/fig07_summary
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "expr/config.h"
 #include "expr/flags.h"
-#include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
@@ -60,22 +67,22 @@ void print_buckets(const char* label, const std::vector<double>& sizes,
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 24.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  auto run_mode = [&](core::StreamingMode mode) {
-    expr::ExperimentConfig cfg = expr::ExperimentConfig::make_default(mode);
-    cfg.warmup_hours = flags.get("warmup", 4.0);
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return expr::ExperimentRunner::run(cfg);
-  };
+  sweep::SweepSpec spec = sweep::golden_preset("fig07_bandwidth_scaling").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 24.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // the scatter needs the per-channel series
+  spec.apply_flags(flags);
 
   std::printf("Figure 7: provisioned cloud bandwidth vs channel size "
               "(%.0f h, seed %llu)\n",
-              hours, static_cast<unsigned long long>(seed));
-  const expr::ExperimentResult cs = run_mode(core::StreamingMode::kClientServer);
-  const expr::ExperimentResult p2p = run_mode(core::StreamingMode::kP2p);
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  const expr::ExperimentResult& cs = result.results[0];   // mode=cs
+  const expr::ExperimentResult& p2p = result.results[1];  // mode=p2p
 
   std::vector<double> cs_sizes, cs_bw, p2p_sizes, p2p_bw;
   collect(cs, cs_sizes, cs_bw);
@@ -108,5 +115,9 @@ int main(int argc, char** argv) {
                                            std::to_string(p2p_bw[i])});
   }
   std::printf("[csv] results/fig07_bandwidth_vs_channel_size.csv\n");
+
+  const std::string out = flags.get("out", std::string("results/fig07_summary"));
+  result.write(out);
+  std::printf("[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

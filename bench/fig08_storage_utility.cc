@@ -6,18 +6,25 @@
 // Paper shape: utility follows channel popularity (bigger channels higher),
 // rising and falling with the diurnal pattern — the heuristic adapts.
 //
-// Flags: --hours=24 --warmup=4 --seed=42
+// Runs on the sweep engine: the fig08_storage_utility golden preset (a
+// single mode=p2p cell) at paper horizons, with per-channel series
+// retained. `tool_sweep --golden=fig08_storage_utility` replays the
+// downsized schedule.
+//
+// Flags: --hours=24 --warmup=4 --seed=42 --out=results/fig08_summary
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
@@ -43,15 +50,18 @@ int closest_channel(const expr::ExperimentResult& r, double target,
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  expr::ExperimentConfig cfg =
-      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
-  cfg.warmup_hours = flags.get("warmup", 4.0);
-  cfg.measure_hours = flags.get("hours", 24.0);
-  cfg.seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
+
+  sweep::SweepSpec spec = sweep::golden_preset("fig08_storage_utility").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 24.0;
+  spec.keep_results = true;  // the figure is per-channel utility series
+  spec.apply_flags(flags);
 
   std::printf("Figure 8: aggregate storage utility of 4 representative "
-              "channels (P2P, %.0f h)\n", cfg.measure_hours);
-  const expr::ExperimentResult r = expr::ExperimentRunner::run(cfg);
+              "channels (P2P, %.0f h)\n", spec.measure_hours);
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  const expr::ExperimentResult& r = result.results[0];  // mode=p2p
 
   std::vector<int> picks;
   std::vector<expr::SeriesColumn> columns;
@@ -82,5 +92,9 @@ int main(int argc, char** argv) {
                 series.mean_over(r.measure_start, r.measure_end),
                 series.max_value());
   }
+
+  const std::string out = flags.get("out", std::string("results/fig08_summary"));
+  result.write(out);
+  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

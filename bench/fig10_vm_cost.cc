@@ -6,35 +6,43 @@
 // cloud bill of a VoD provider is all VM rental, and a P2P overlay removes
 // an order of magnitude of it.
 //
-// Flags: --hours=24 --warmup=4 --seed=42
+// Runs on the sweep engine: the fig10_vm_cost golden preset's mode={cs,p2p}
+// grid at paper horizons, both cells sharing one derived seed.
+// `tool_sweep --golden=fig10_vm_cost` replays the downsized schedule.
+//
+// Flags: --hours=24 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/fig10_summary
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 24.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  auto run_mode = [&](core::StreamingMode mode) {
-    expr::ExperimentConfig cfg = expr::ExperimentConfig::make_default(mode);
-    cfg.warmup_hours = flags.get("warmup", 4.0);
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    return expr::ExperimentRunner::run(cfg);
-  };
+  sweep::SweepSpec spec = sweep::golden_preset("fig10_vm_cost").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 24.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // hourly cost series + cost totals
+  spec.apply_flags(flags);
 
-  std::printf("Figure 10: overall VM rental cost (%.0f h, seed %llu)\n", hours,
-              static_cast<unsigned long long>(seed));
-  const expr::ExperimentResult cs = run_mode(core::StreamingMode::kClientServer);
-  const expr::ExperimentResult p2p = run_mode(core::StreamingMode::kP2p);
+  std::printf("Figure 10: overall VM rental cost (%.0f h, seed %llu)\n",
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
+
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  const expr::ExperimentResult& cs = result.results[0];   // mode=cs
+  const expr::ExperimentResult& p2p = result.results[1];  // mode=p2p
 
   expr::print_series_table("Fig. 10 series (VM rental cost, $/h, hourly)",
                            {{"C/S cost", &cs.metrics.vm_cost_rate},
@@ -72,5 +80,9 @@ int main(int argc, char** argv) {
                 return worst;
               }(),
               cs.metrics.vm_cost_rate.max_value());
+
+  const std::string out = flags.get("out", std::string("results/fig10_summary"));
+  result.write(out);
+  std::printf("[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

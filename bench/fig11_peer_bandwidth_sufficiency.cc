@@ -5,74 +5,76 @@
 // cloud resource is needed when peer average upload capacity is larger";
 // we print that series too.
 //
-// Flags: --hours=72 --warmup=4 --seed=42 --ratios=0.9,1.0,1.2
+// Runs on the sweep engine: the fig11_peer_sufficiency golden preset's
+// mode={p2p} × uplink_ratio={0.9,1,1.2} grid at paper horizons. The ratio
+// axis is workload-shaping (each ratio draws a different peer population),
+// so each column gets its own derived seed, as in the paper's setup.
+// Other ratios: `tool_sweep --scenario=baseline_diurnal --grid mode=p2p
+// --grid uplink_ratio=...`.
+//
+// Flags: --hours=72 --warmup=4 --seed=42 --threads=<hardware>
+//        --out=results/fig11_summary
 
+#include <cmath>
 #include <cstdio>
-#include <sstream>
+#include <string>
 #include <vector>
 
-#include "expr/config.h"
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "sweep/goldens.h"
+#include "sweep/sweep_runner.h"
 
 using namespace cloudmedia;
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
-  const double hours = flags.get("hours", 72.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_ll("seed", 42));
 
-  std::vector<double> ratios;
-  {
-    std::stringstream list(flags.get("ratios", std::string("0.9,1.0,1.2")));
-    std::string token;
-    while (std::getline(list, token, ',')) ratios.push_back(std::stod(token));
-  }
+  sweep::SweepSpec spec = sweep::golden_preset("fig11_peer_sufficiency").spec;
+  spec.warmup_hours = 4.0;
+  spec.measure_hours = 72.0;
+  spec.threads = 0;  // default to hardware
+  spec.keep_results = true;  // the quality series per ratio
+  spec.apply_flags(flags);
+
+  const std::vector<std::string>& ratios = spec.grid.axes().back().values;
 
   std::printf("Figure 11: P2P streaming quality vs peer bandwidth "
               "sufficiency (%.0f h per ratio, seed %llu)\n",
-              hours, static_cast<unsigned long long>(seed));
+              spec.measure_hours,
+              static_cast<unsigned long long>(spec.base_seed));
 
-  std::vector<expr::ExperimentResult> results;
-  results.reserve(ratios.size());
-  for (double ratio : ratios) {
-    expr::ExperimentConfig cfg =
-        expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
-    cfg.workload.uplink_mean_ratio = ratio;
-    cfg.warmup_hours = flags.get("warmup", 4.0);
-    cfg.measure_hours = hours;
-    cfg.seed = seed;
-    results.push_back(expr::ExperimentRunner::run(cfg));
-  }
+  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
 
   std::vector<expr::SeriesColumn> columns;
   std::vector<std::string> names;
-  for (double ratio : ratios) {
-    names.push_back("ratio " + std::to_string(ratio).substr(0, 4));
-  }
-  for (std::size_t k = 0; k < results.size(); ++k) {
-    columns.push_back({names[k], &results[k].metrics.quality});
+  for (const std::string& ratio : ratios) names.push_back("ratio " + ratio);
+  for (std::size_t k = 0; k < result.results.size(); ++k) {
+    columns.push_back({names[k], &result.results[k].metrics.quality});
   }
   expr::print_series_table("Fig. 11 series (quality, 4-hour buckets)", columns,
-                           results[0].measure_start, results[0].measure_end,
-                           4.0 * 3600.0, "fig11_peer_bandwidth_sufficiency");
+                           result.results[0].measure_start,
+                           result.results[0].measure_end, 4.0 * 3600.0,
+                           "fig11_peer_bandwidth_sufficiency");
 
   std::printf("\n-- paper comparison (avg streaming quality) --\n");
   for (std::size_t k = 0; k < ratios.size(); ++k) {
+    const double ratio = std::stod(ratios[k]);
     double paper_value = -1.0;
     for (std::size_t p = 0; p < expr::paper::kFig11Ratios.size(); ++p) {
-      if (std::abs(expr::paper::kFig11Ratios[p] - ratios[k]) < 1e-9) {
+      if (std::abs(expr::paper::kFig11Ratios[p] - ratio) < 1e-9) {
         paper_value = expr::paper::kFig11Quality[p];
       }
     }
     if (paper_value >= 0.0) {
       expr::print_paper_comparison("quality at " + names[k],
-                                   results[k].mean_quality(), paper_value, "");
+                                   result.runs[k].mean_quality, paper_value,
+                                   "");
     } else {
       std::printf("quality at %-34s measured %10.3f\n", names[k].c_str(),
-                  results[k].mean_quality());
+                  result.runs[k].mean_quality);
     }
   }
 
@@ -80,13 +82,17 @@ int main(int argc, char** argv) {
               "stronger) --\n");
   std::printf("%-12s %16s %16s %14s\n", "ratio", "reserved (Mbps)",
               "cloud used (Mbps)", "VM cost ($/h)");
-  for (std::size_t k = 0; k < ratios.size(); ++k) {
-    std::printf("%-12.2f %16.1f %16.1f %14.2f\n", ratios[k],
-                results[k].mean_reserved_mbps(),
-                results[k].mean_used_cloud_mbps(),
-                results[k].mean_vm_cost_rate());
+  for (std::size_t k = 0; k < result.runs.size(); ++k) {
+    std::printf("%-12s %16.1f %16.1f %14.2f\n", ratios[k].c_str(),
+                result.runs[k].mean_reserved_mbps,
+                result.runs[k].mean_used_cloud_mbps,
+                result.results[k].mean_vm_cost_rate());
   }
   std::printf("quality is \"satisfactory in all cases\" (paper) — cloud "
               "provisioning absorbs whatever the overlay cannot supply.\n");
+
+  const std::string out = flags.get("out", std::string("results/fig11_summary"));
+  result.write(out);
+  std::printf("[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
   return 0;
 }

@@ -2,6 +2,12 @@
 # Run with `ctest -L smoke`. Each job downsizes the simulated horizon where
 # the binary takes flags, so the whole tier completes in well under a minute.
 
+# Per-test timeout. The default fits an optimized build; the CI sanitize
+# job raises it (ASan/UBSan on a Debug build is several times slower).
+if(NOT DEFINED CLOUDMEDIA_SMOKE_TIMEOUT)
+  set(CLOUDMEDIA_SMOKE_TIMEOUT 45)
+endif()
+
 # add_smoke_test(<name> <target> [args...])
 function(add_smoke_test name target)
   if(NOT TARGET ${target})
@@ -11,7 +17,7 @@ function(add_smoke_test name target)
   add_test(NAME smoke.${name} COMMAND ${target} ${ARGN})
   set_tests_properties(smoke.${name} PROPERTIES
     LABELS "smoke"
-    TIMEOUT 45)
+    TIMEOUT ${CLOUDMEDIA_SMOKE_TIMEOUT})
 endfunction()
 
 if(CLOUDMEDIA_BUILD_EXAMPLES)
@@ -41,16 +47,17 @@ if(CLOUDMEDIA_BUILD_TOOLS)
   endif()
 endif()
 
-# The sweep engine's contract tests — thread-count determinism and the
-# scenario-catalog round-trip — also gate the smoke tier, so the fast path
-# (scripts/verify.sh --smoke, CI's smoke step) cannot pass with a
-# nondeterministic or unconstructible sweep.
+# The sweep engine's contract tests — thread-count determinism, the
+# scenario-catalog round-trip, and the parameter-applier registry — also
+# gate the smoke tier, so the fast path (scripts/verify.sh --smoke, CI's
+# smoke step) cannot pass with a nondeterministic or unconstructible sweep.
 if(TARGET sweep_test)
   add_smoke_test(sweep_determinism sweep_test
-    --gtest_filter=SweepRunner.*:ScenarioCatalog.*)
+    --gtest_filter=SweepRunner.*:ScenarioCatalog.*:ParamGrid.*)
 endif()
 
-# One downscaled bench per paper-figure family (fig04–fig11).
+# One downscaled bench per paper-figure family (fig04–fig11) and per
+# sweep-engine ablation — every migrated bench stays runnable end to end.
 if(CLOUDMEDIA_BUILD_BENCH)
   set(CLOUDMEDIA_SMOKE_ARGS --hours=2 --warmup=1 --seed=42)
   add_smoke_test(fig04 bench_fig04_capacity_provisioning ${CLOUDMEDIA_SMOKE_ARGS})
@@ -61,6 +68,23 @@ if(CLOUDMEDIA_BUILD_BENCH)
   add_smoke_test(fig09 bench_fig09_vm_utility ${CLOUDMEDIA_SMOKE_ARGS})
   add_smoke_test(fig10 bench_fig10_vm_cost ${CLOUDMEDIA_SMOKE_ARGS})
   add_smoke_test(fig11 bench_fig11_peer_bandwidth_sufficiency ${CLOUDMEDIA_SMOKE_ARGS})
+  set(CLOUDMEDIA_ABLATION_SMOKE_ARGS --hours=1 --warmup=0.25 --seed=42)
+  add_smoke_test(ablation_boot_delay bench_ablation_boot_delay
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_chunk_size bench_ablation_chunk_size
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_geo bench_ablation_geo
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_hetero bench_ablation_hetero
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_p2p_cap bench_ablation_p2p_cap
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_prediction bench_ablation_prediction
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS} --days=1)
+  add_smoke_test(ablation_pooling bench_ablation_pooling
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
+  add_smoke_test(ablation_strategies bench_ablation_strategies
+    ${CLOUDMEDIA_ABLATION_SMOKE_ARGS})
   # Sweep-engine throughput tracker (3x3 grid, downsized horizon).
   add_smoke_test(sweep_bench bench_sweep_smoke --hours=0.25 --warmup=0.1
     --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_sweep.json)

@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
 # Fail if any tracked C++ source deviates from .clang-format.
+#
 # Usage: scripts/check-format.sh [--fix]
+#   --fix   rewrite the offending files in place instead of failing
+#
+# The binary is selected with $CLANG_FORMAT (default: clang-format). CI
+# pins CLANG_FORMAT=clang-format-18 — different clang-format majors
+# disagree about line breaks, so match that version locally before
+# trusting a clean run. A missing binary is a hard error (exit 2), never a
+# silent pass: a format gate that cannot run must not report success.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
 if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
-  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=... to override)" >&2
+  echo "check-format: FAIL — '$CLANG_FORMAT' not found on PATH." >&2
+  echo "check-format: install clang-format (CI uses clang-format-18) or" >&2
+  echo "check-format: point CLANG_FORMAT at a binary. Refusing to report" >&2
+  echo "check-format: the tree clean without checking it." >&2
+  exit 2
+fi
+echo "check-format: using $("$CLANG_FORMAT" --version)"
+
+mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check-format: FAIL — no tracked C++ sources found (wrong directory?)" >&2
   exit 2
 fi
 
-mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h')
 if [[ "${1:-}" == "--fix" ]]; then
   "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check-format: reformatted ${#files[@]} files (review 'git diff')"
 else
   "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "check-format: ${#files[@]} files clean"
 fi

@@ -8,17 +8,41 @@
 # with the change and say in the commit message why they moved. A golden
 # diff you cannot explain is a regression, not a reason to regenerate.
 #
-# Usage: scripts/regen-goldens.sh [build-dir]
+# Usage: scripts/regen-goldens.sh [build-dir] [preset...]
+#   With preset names, only those snapshots are regenerated (a deliberate
+#   change to one figure should not churn the others' files in the diff).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+ONLY=("$@")
+
 cmake -B "$BUILD_DIR" -S . > /dev/null
 cmake --build "$BUILD_DIR" -j --target tool_sweep > /dev/null
 TOOL="$BUILD_DIR/tools/tool_sweep"
 
+wanted() {
+  [ "${#ONLY[@]}" -eq 0 ] && return 0
+  local name
+  for name in ${ONLY[@]+"${ONLY[@]}"}; do
+    [ "$name" = "$1" ] && return 0
+  done
+  return 1
+}
+
+# Reject typos up front: every requested preset must exist. (The ${ONLY[@]+}
+# guards keep empty-array expansion working under set -u on bash 3.2.)
+for name in ${ONLY[@]+"${ONLY[@]}"}; do
+  "$TOOL" --list-goldens | grep -qx "$name" || {
+    echo "regen-goldens: unknown preset '$name' (see --list-goldens)" >&2
+    exit 2
+  }
+done
+
 mkdir -p goldens
 for name in $("$TOOL" --list-goldens); do
+  wanted "$name" || continue
   "$TOOL" --golden="$name" --out="goldens/$name" > /dev/null
   echo "regenerated goldens/$name.{csv,json}"
 done

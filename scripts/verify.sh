@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the CTest suite.
+# Verify the tree: configure, build, and run a test tier.
 #
-# Usage: scripts/verify.sh [--smoke] [build-dir]
-#   --smoke   run only the smoke tier (fast pass/fail figure benches, the
-#             tool_sweep demo grid, and the sweep determinism tests)
+# Usage: scripts/verify.sh [--smoke | --golden] [build-dir]
+#
+#   (default)  tier-1 verify: the full CTest suite (unit + integration +
+#              smoke) — the gate every commit must pass.
+#   --smoke    only the smoke tier: fast pass/fail figure benches, the
+#              tool_sweep demo grid, and the sweep determinism tests.
+#   --golden   the figures gate CI runs on every commit: every golden
+#              preset executed on 1 thread and on all cores, the two CSVs
+#              byte-compared, and the result diffed against the committed
+#              goldens/ snapshot where one exists.
+#
+# The selected tier's exit code is the script's exit code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SMOKE=0
+usage() {
+  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+MODE=full
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
-    --smoke) SMOKE=1 ;;
-    -*) echo "verify.sh: unknown option '$arg'" >&2; exit 2 ;;
+    --smoke) MODE=smoke ;;
+    --golden) MODE=golden ;;
+    -h|--help) usage; exit 0 ;;
+    -*) echo "verify.sh: unknown option '$arg'" >&2; usage >&2; exit 2 ;;
     *)
       if [ -n "$BUILD_DIR" ]; then
         echo "verify.sh: more than one build dir given" >&2; exit 2
@@ -21,11 +36,50 @@ for arg in "$@"; do
   esac
 done
 BUILD_DIR="${BUILD_DIR:-build}"
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-if [ "$SMOKE" = "1" ]; then
-  ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure \
-    -j "$(nproc 2>/dev/null || echo 4)"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+rc=0
+case "$MODE" in
+  full)
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" || rc=$?
+    ;;
+  smoke)
+    ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS" \
+      || rc=$?
+    ;;
+  golden)
+    TOOL="$BUILD_DIR/tools/tool_sweep"
+    OUT="$BUILD_DIR/artifacts/figures"
+    mkdir -p "$OUT"
+    for name in $("$TOOL" --list-goldens); do
+      echo "== $name =="
+      "$TOOL" --golden="$name" --threads=1 --out="$OUT/${name}_t1" >/dev/null
+      "$TOOL" --golden="$name" --threads="$JOBS" --out="$OUT/${name}_tn" \
+        >/dev/null
+      if ! cmp "$OUT/${name}_t1.csv" "$OUT/${name}_tn.csv"; then
+        echo "verify.sh: $name: CSV depends on the thread count" >&2
+        rc=1
+      fi
+      if [ -f "goldens/${name}.json" ]; then
+        if ! "$TOOL" --diff "$OUT/${name}_t1.json" "goldens/${name}.json" \
+               --out="$OUT/${name}_diff.json" >/dev/null; then
+          echo "verify.sh: $name: differs from committed goldens/${name}.json" \
+               "(report: $OUT/${name}_diff.json)" >&2
+          rc=1
+        fi
+      else
+        echo "   (no committed snapshot — thread check only)"
+      fi
+    done
+    ;;
+esac
+
+if [ "$rc" -ne 0 ]; then
+  echo "verify.sh: $MODE tier FAILED (exit $rc)" >&2
 else
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+  echo "verify.sh: $MODE tier passed"
 fi
+exit "$rc"

@@ -50,6 +50,111 @@ std::vector<GoldenPreset> build_presets() {
       {"model", "model-nofloor", "reactive", "static", "seasonal", "clairvoyant"});
   presets.push_back(std::move(strategies));
 
+  // ------------------------------------------------------------------ figures
+  // One preset per paper figure, each the downsized grid its bench_* binary
+  // runs at paper horizons. The preset horizons are deliberately short: the
+  // golden gate replays every preset twice per commit.
+
+  GoldenPreset fig04 = make_preset(
+      "fig04_provisioning",
+      "Fig. 4: reserved vs used cloud bandwidth, C/S vs P2P", "baseline_diurnal",
+      0.5, 3.0);
+  fig04.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(fig04));
+
+  GoldenPreset fig05 = make_preset(
+      "fig05_quality", "Fig. 5: average streaming quality, C/S vs P2P",
+      "baseline_diurnal", 0.5, 2.5);
+  fig05.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(fig05));
+
+  GoldenPreset fig07 = make_preset(
+      "fig07_bandwidth_scaling",
+      "Fig. 7: provisioned bandwidth vs channel size, C/S vs P2P",
+      "baseline_diurnal", 0.5, 1.5);
+  fig07.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(fig07));
+
+  GoldenPreset fig08 = make_preset(
+      "fig08_storage_utility",
+      "Fig. 8: storage-rental utility across channels (P2P)",
+      "baseline_diurnal", 0.5, 2.0);
+  fig08.spec.grid.add_axis("mode", {"p2p"});
+  presets.push_back(std::move(fig08));
+
+  GoldenPreset fig09 = make_preset(
+      "fig09_vm_utility",
+      "Fig. 9: VM-configuration utility across channels (P2P)",
+      "baseline_diurnal", 0.25, 2.0);
+  fig09.spec.grid.add_axis("mode", {"p2p"});
+  presets.push_back(std::move(fig09));
+
+  GoldenPreset fig10 = make_preset(
+      "fig10_vm_cost", "Fig. 10: overall VM rental cost, C/S vs P2P",
+      "baseline_diurnal", 0.25, 2.0);
+  fig10.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(fig10));
+
+  GoldenPreset fig11 = make_preset(
+      "fig11_peer_sufficiency",
+      "Fig. 11: P2P quality vs peer uplink / streaming-rate ratio",
+      "baseline_diurnal", 0.25, 1.5);
+  fig11.spec.grid.add_axis("mode", {"p2p"});
+  fig11.spec.grid.add_axis("uplink_ratio", {"0.9", "1", "1.2"});
+  presets.push_back(std::move(fig11));
+
+  // ---------------------------------------------------------------- ablations
+
+  GoldenPreset boot = make_preset(
+      "ablation_boot_delay",
+      "VM boot latency sweep (Sec. VI-C), shared workload", "baseline_diurnal",
+      0.25, 1.5);
+  boot.spec.grid.add_axis("mode", {"cs"});
+  boot.spec.grid.add_axis("boot_delay", {"0", "25", "120", "600", "1800"});
+  presets.push_back(std::move(boot));
+
+  GoldenPreset chunk = make_preset(
+      "ablation_chunk_size",
+      "chunk duration T0 sweep over a 100-minute video (footnote 3)",
+      "baseline_diurnal", 0.25, 1.0);
+  chunk.spec.grid.add_axis("mode", {"p2p"});
+  chunk.spec.grid.add_axis("chunk_minutes", {"2.5", "5", "10", "20"});
+  presets.push_back(std::move(chunk));
+
+  GoldenPreset geo = make_preset(
+      "ablation_geo",
+      "geo federation (Sec. VII): consolidated vs per-region deployments",
+      "baseline_diurnal", 0.25, 2.0);
+  geo.spec.grid.add_axis("mode", {"p2p"});
+  geo.spec.grid.add_axis("region", {"global", "asia", "europe", "americas"});
+  presets.push_back(std::move(geo));
+
+  GoldenPreset hetero = make_preset(
+      "ablation_hetero",
+      "peer-uplink spread at fixed mean (Sec. IV-C heterogeneity)",
+      "baseline_diurnal", 0.25, 1.5);
+  hetero.spec.grid.add_axis("mode", {"p2p"});
+  hetero.spec.grid.add_axis("uplink_shape", {"1.5", "3", "8"});
+  presets.push_back(std::move(hetero));
+
+  GoldenPreset p2p_cap = make_preset(
+      "ablation_p2p_cap",
+      "Eqn.-(5) peer-supply cap: literal vs bandwidth-consistent",
+      "baseline_diurnal", 0.25, 1.5);
+  p2p_cap.spec.grid.add_axis("mode", {"p2p"});
+  p2p_cap.spec.grid.add_axis("p2p_cap", {"literal", "bandwidth"});
+  presets.push_back(std::move(p2p_cap));
+
+  GoldenPreset prediction = make_preset(
+      "ablation_prediction",
+      "arrival-rate forecaster sweep driving the controller (Sec. V-B)",
+      "baseline_diurnal", 0.25, 2.0);
+  prediction.spec.grid.add_axis("mode", {"cs"});
+  prediction.spec.grid.add_axis(
+      "forecaster", {"persistence", "moving-average", "holt", "seasonal-ewma",
+                     "holt-winters"});
+  presets.push_back(std::move(prediction));
+
   return presets;
 }
 

@@ -1,8 +1,11 @@
 #include "sweep/param_grid.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "geo/federation.h"
+#include "predict/forecaster.h"
 #include "util/check.h"
 
 namespace cloudmedia::sweep {
@@ -86,6 +89,88 @@ void apply_capacity(expr::ExperimentConfig& cfg, const std::string& value) {
   }
 }
 
+void apply_p2p_cap(expr::ExperimentConfig& cfg, const std::string& value) {
+  if (value == "literal") {
+    cfg.p2p.demand_cap = core::P2pDemandCap::kStreamingRateLiteral;
+  } else if (value == "bandwidth") {
+    cfg.p2p.demand_cap = core::P2pDemandCap::kProvisionedBandwidth;
+  } else {
+    throw util::PreconditionError(
+        "sweep parameter p2p_cap: expected literal|bandwidth, got '" + value +
+        "'");
+  }
+}
+
+void apply_forecaster(expr::ExperimentConfig& cfg, const std::string& value) {
+  predict::ForecasterKind kind;
+  try {
+    kind = predict::forecaster_kind_from_string(value);
+  } catch (const util::PreconditionError&) {
+    std::string known;
+    for (const predict::ForecasterKind k : predict::all_forecaster_kinds()) {
+      if (!known.empty()) known += "|";
+      known += predict::to_string(k);
+    }
+    throw util::PreconditionError("sweep parameter forecaster: expected " +
+                                  known + ", got '" + value + "'");
+  }
+  cfg.strategy = expr::Strategy::kForecast;
+  cfg.forecaster.kind = kind;
+  cfg.forecaster.period = 24;  // hourly cadence, daily season
+}
+
+// The chunk-size axis (ablation_chunk_size, paper footnote 3): T0 in
+// minutes over a 100-minute video, so J = round(100 / T0). The physical
+// viewing processes stay fixed across T0 — seeks fire at rate 1/15 min,
+// departures at 1/37 min — and over one chunk the two exponential risks
+// compete:
+//   P(neither) = e^{-(rj+rl) T0},  P(jump) = rj/(rj+rl) · (1 − P(neither)),
+// which keeps jump + leave <= 1 for any chunk duration.
+void apply_chunk_minutes(expr::ExperimentConfig& cfg, const std::string& v) {
+  const double t0_minutes = parse_double("chunk_minutes", v);
+  if (!(t0_minutes > 0.0) || t0_minutes > 100.0) {
+    throw util::PreconditionError(
+        "sweep parameter chunk_minutes: expected (0, 100], got '" + v + "'");
+  }
+  constexpr double kVideoMinutes = 100.0;
+  constexpr double kSeekIntervalMinutes = 15.0;
+  constexpr double kLeaveIntervalMinutes = 37.0;  // mean viewing time
+  cfg.vod.chunk_duration = t0_minutes * 60.0;
+  cfg.vod.chunks_per_video =
+      static_cast<int>(std::lround(kVideoMinutes / t0_minutes));
+  cfg.workload.chunks_per_video = cfg.vod.chunks_per_video;
+  const double rj = 1.0 / kSeekIntervalMinutes;
+  const double rl = 1.0 / kLeaveIntervalMinutes;
+  const double event_prob = 1.0 - std::exp(-(rj + rl) * t0_minutes);
+  cfg.workload.behavior.jump_prob = event_prob * rj / (rj + rl);
+  cfg.workload.behavior.leave_prob = event_prob * rl / (rj + rl);
+}
+
+// The geo axis (ablation_geo, paper Sec. VII): reshape the experiment into
+// one region of the default three-region federation — its audience share,
+// shifted diurnal clock, regional prices, and proportional budget slice —
+// via the same derivation FederationRunner uses. "global" keeps the whole
+// audience on one clock (the consolidated baseline).
+void apply_region(expr::ExperimentConfig& cfg, const std::string& value) {
+  if (value == "global") return;
+  geo::FederationConfig federation =
+      geo::FederationConfig::make_default(cfg.mode);
+  federation.base = cfg;
+  for (std::size_t k = 0; k < federation.regions.size(); ++k) {
+    if (federation.regions[k].name != value) continue;
+    const std::uint64_t seed = cfg.seed;
+    cfg = geo::FederationRunner::regional_config(federation, k);
+    cfg.seed = seed;  // seeding stays the runner's job, not the applier's
+    return;
+  }
+  std::string known = "global";
+  for (const geo::RegionSpec& region : federation.regions) {
+    known += "|" + region.name;
+  }
+  throw util::PreconditionError("sweep parameter region: expected " + known +
+                                ", got '" + value + "'");
+}
+
 const ParameterEntry kRegistry[] = {
     {"channels", true,
      [](expr::ExperimentConfig& cfg, const std::string& v) {
@@ -115,6 +200,15 @@ const ParameterEntry kRegistry[] = {
      [](expr::ExperimentConfig& cfg, const std::string& v) {
        cfg.workload.behavior.alpha = parse_double("alpha", v);
      }},
+    {"uplink_shape", true,
+     [](expr::ExperimentConfig& cfg, const std::string& v) {
+       // Pareto tail exponent of the peer uplink. uplink_mean_ratio keeps
+       // the mean pinned, so this axis varies *spread* at constant mean —
+       // the ablation_hetero question.
+       cfg.workload.uplink_shape = parse_double("uplink_shape", v);
+     }},
+    {"chunk_minutes", true, apply_chunk_minutes},
+    {"region", true, apply_region},
     {"mode", false, apply_mode},
     {"strategy", false, apply_strategy},
     {"capacity", false, apply_capacity},
@@ -130,6 +224,8 @@ const ParameterEntry kRegistry[] = {
      [](expr::ExperimentConfig& cfg, const std::string& v) {
        cfg.vm_boot_delay = parse_double("boot_delay", v);
      }},
+    {"p2p_cap", false, apply_p2p_cap},
+    {"forecaster", false, apply_forecaster},
     {"reactive_margin", false,
      [](expr::ExperimentConfig& cfg, const std::string& v) {
        cfg.reactive_margin = parse_double("reactive_margin", v);

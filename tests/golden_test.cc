@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -55,6 +56,29 @@ TEST(Goldens, PresetsAreRegisteredAndDistinct) {
     EXPECT_FALSE(preset.description.empty());
   }
   EXPECT_THROW((void)golden_preset("no_such_preset"), util::PreconditionError);
+}
+
+// Every figure and ablation of the paper's evaluation is a named preset:
+// `tool_sweep --golden=<name>` must be able to reproduce any of them, and a
+// rename is a deliberate interface change, not drift. (fig06 has no
+// standalone entry in this list — it shipped first as fig06_modes.)
+TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
+  const char* const kExpected[] = {
+      "sweep_demo",          "fig06_modes",
+      "ablation_strategies", "fig04_provisioning",
+      "fig05_quality",       "fig07_bandwidth_scaling",
+      "fig08_storage_utility", "fig09_vm_utility",
+      "fig10_vm_cost",       "fig11_peer_sufficiency",
+      "ablation_boot_delay", "ablation_chunk_size",
+      "ablation_geo",        "ablation_hetero",
+      "ablation_p2p_cap",    "ablation_prediction",
+  };
+  EXPECT_GE(golden_presets().size(), 15u);
+  EXPECT_EQ(golden_presets().size(), std::size(kExpected));
+  for (const char* name : kExpected) {
+    SCOPED_TRACE(name);
+    EXPECT_NO_THROW((void)golden_preset(name));
+  }
 }
 
 // The tentpole acceptance bar: in-process runs of every preset match the

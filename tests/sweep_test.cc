@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <limits>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "predict/forecaster.h"
+#include "sweep/goldens.h"
 #include "sweep/param_grid.h"
 #include "sweep/run_summary.h"
 #include "sweep/scenario_catalog.h"
@@ -121,6 +124,105 @@ TEST(ParamGrid, ApplyParameterRejectsJunk) {
                util::PreconditionError);
   EXPECT_THROW(apply_parameter(cfg, "strategy", "magic"),
                util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "p2p_cap", "verbatim"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "forecaster", "oracle"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "region", "atlantis"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "chunk_minutes", "0"),
+               util::PreconditionError);
+  EXPECT_THROW(apply_parameter(cfg, "chunk_minutes", "500"),
+               util::PreconditionError);
+}
+
+// ------------------------------------------ the figure-bench axes (PR 4)
+
+TEST(ParamGrid, ChunkMinutesAppliesCompetingRisksTransform) {
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
+  apply_parameter(cfg, "chunk_minutes", "10");
+  EXPECT_DOUBLE_EQ(cfg.vod.chunk_duration, 600.0);
+  EXPECT_EQ(cfg.vod.chunks_per_video, 10);  // 100-minute video
+  EXPECT_EQ(cfg.workload.chunks_per_video, 10);
+  // Competing exponential risks: jump at 1/15 per minute, leave at 1/37.
+  const double rj = 1.0 / 15.0, rl = 1.0 / 37.0;
+  const double event_prob = 1.0 - std::exp(-(rj + rl) * 10.0);
+  EXPECT_NEAR(cfg.workload.behavior.jump_prob, event_prob * rj / (rj + rl),
+              1e-12);
+  EXPECT_NEAR(cfg.workload.behavior.leave_prob, event_prob * rl / (rj + rl),
+              1e-12);
+  EXPECT_LE(cfg.workload.behavior.jump_prob + cfg.workload.behavior.leave_prob,
+            1.0);
+  cfg.workload.behavior.validate();  // any T0 must yield a valid behaviour
+}
+
+TEST(ParamGrid, P2pCapAndForecasterApply) {
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
+  apply_parameter(cfg, "p2p_cap", "literal");
+  EXPECT_EQ(cfg.p2p.demand_cap, core::P2pDemandCap::kStreamingRateLiteral);
+  apply_parameter(cfg, "p2p_cap", "bandwidth");
+  EXPECT_EQ(cfg.p2p.demand_cap, core::P2pDemandCap::kProvisionedBandwidth);
+
+  apply_parameter(cfg, "forecaster", "holt-winters");
+  EXPECT_EQ(cfg.strategy, expr::Strategy::kForecast);
+  EXPECT_EQ(cfg.forecaster.kind, predict::ForecasterKind::kHoltWinters);
+  EXPECT_EQ(cfg.forecaster.period, 24);
+}
+
+TEST(ParamGrid, RegionAppliesFederationDerivation) {
+  const expr::ExperimentConfig base =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
+
+  expr::ExperimentConfig global = base;
+  apply_parameter(global, "region", "global");  // consolidated: a no-op
+  EXPECT_DOUBLE_EQ(global.workload.total_arrival_rate,
+                   base.workload.total_arrival_rate);
+
+  expr::ExperimentConfig asia = base;
+  apply_parameter(asia, "region", "asia");  // 45% share, reference clock
+  EXPECT_NEAR(asia.workload.total_arrival_rate,
+              0.45 * base.workload.total_arrival_rate, 1e-12);
+  EXPECT_NEAR(asia.vm_budget_per_hour, 0.45 * base.vm_budget_per_hour, 1e-12);
+  EXPECT_EQ(asia.seed, base.seed);  // seeding stays the runner's job
+
+  expr::ExperimentConfig europe = base;
+  apply_parameter(europe, "region", "europe");  // 30% share, 1.1x VM prices
+  EXPECT_NEAR(europe.workload.total_arrival_rate,
+              0.30 * base.workload.total_arrival_rate, 1e-12);
+  ASSERT_FALSE(europe.vm_clusters.empty());
+  EXPECT_NEAR(europe.vm_clusters[0].price_per_hour,
+              1.1 * base.vm_clusters[0].price_per_hour, 1e-12);
+}
+
+TEST(ParamGrid, UplinkShapeVariesSpreadOnly) {
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kP2p);
+  apply_parameter(cfg, "uplink_shape", "8");
+  EXPECT_DOUBLE_EQ(cfg.workload.uplink_shape, 8.0);
+  // The mean pin is what makes the axis a pure-spread knob.
+  EXPECT_DOUBLE_EQ(cfg.workload.uplink_mean_ratio, 1.0);
+  cfg.workload.validate();
+}
+
+TEST(ParamGrid, NewAxesParseAndClassify) {
+  const ParamGrid grid = ParamGrid::parse(
+      {"chunk_minutes=2.5,5,10", "p2p_cap=literal,bandwidth",
+       "forecaster=persistence,holt", "region=global,asia",
+       "uplink_shape=1.5,8"});
+  EXPECT_EQ(grid.num_points(), 3u * 2u * 2u * 2u * 2u);
+  // Workload-shaping axes feed the per-run seed; system-side ones must not.
+  EXPECT_TRUE(parameter_affects_workload("chunk_minutes"));
+  EXPECT_TRUE(parameter_affects_workload("region"));
+  EXPECT_TRUE(parameter_affects_workload("uplink_shape"));
+  EXPECT_FALSE(parameter_affects_workload("p2p_cap"));
+  EXPECT_FALSE(parameter_affects_workload("forecaster"));
+  // p2p_cap/forecaster rows of the same workload share their seed.
+  ParamGrid seed_grid;
+  seed_grid.add_axis("p2p_cap", {"literal", "bandwidth"});
+  EXPECT_EQ(SweepRunner::run_seed(42, seed_grid.point(0)),
+            SweepRunner::run_seed(42, seed_grid.point(1)));
 }
 
 TEST(ParamGrid, EveryKnownParameterApplies) {
@@ -136,6 +238,16 @@ TEST(ParamGrid, EveryKnownParameterApplies) {
     } else if (name == "capacity") {
       apply_parameter(cfg, name, "literal");
     } else if (name == "channels") {
+      apply_parameter(cfg, name, "5");
+    } else if (name == "p2p_cap") {
+      apply_parameter(cfg, name, "bandwidth");
+    } else if (name == "forecaster") {
+      apply_parameter(cfg, name, "seasonal-ewma");
+    } else if (name == "region") {
+      apply_parameter(cfg, name, "asia");
+    } else if (name == "uplink_shape") {
+      apply_parameter(cfg, name, "3");
+    } else if (name == "chunk_minutes") {
       apply_parameter(cfg, name, "5");
     } else {
       apply_parameter(cfg, name, "0.5");
@@ -296,6 +408,42 @@ TEST(SweepRunner, UnknownScenarioFailsFast) {
   spec.scenario = "no_such_scenario";
   EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
 }
+
+// ----------------------------------------- per-preset thread determinism
+//
+// One determinism check per figure/ablation preset: its grid — including
+// the new axes — must produce byte-identical CSV on 1 thread and on 8.
+// The horizon is cut far below the preset's golden schedule: this test
+// guards the *axes* (does some applier or scenario hook break seed
+// stability?); the full-schedule byte comparison lives in golden_test.
+
+class PresetDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetDeterminism, ThreadCountDoesNotChangeOutput) {
+  SweepSpec spec = golden_preset(GetParam()).spec;
+  spec.warmup_hours = 0.05;
+  spec.measure_hours = 0.2;
+  spec.threads = 1;
+  const SweepResult serial = SweepRunner::run(spec);
+  spec.threads = 8;
+  const SweepResult parallel = SweepRunner::run(spec);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_json().dump(), parallel.to_json().dump());
+  ASSERT_EQ(serial.runs.size(), spec.grid.num_points());
+  for (const RunSummary& run : serial.runs) EXPECT_GT(run.sim_events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewFigurePresets, PresetDeterminism,
+    ::testing::Values("fig04_provisioning", "fig05_quality",
+                      "fig07_bandwidth_scaling", "fig08_storage_utility",
+                      "fig09_vm_utility", "fig10_vm_cost",
+                      "fig11_peer_sufficiency", "ablation_boot_delay",
+                      "ablation_chunk_size", "ablation_geo", "ablation_hetero",
+                      "ablation_p2p_cap", "ablation_prediction"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 // ------------------------------------------------------------------ JSON
 

@@ -17,6 +17,11 @@
 //        --list (print scenarios, grid parameters, golden presets and exit)
 //        --list-goldens (print one golden preset name per line, for scripts)
 //
+// Every figure and ablation of the paper's evaluation is a golden preset
+// (fig04_provisioning ... ablation_prediction, see --list); CI and
+// scripts/verify.sh --golden replay all of them on 1 thread and on all
+// cores and diff against the goldens/ snapshots on every commit.
+//
 // Diff mode — compare two sweep JSON files (same grid + seed, different
 // commits) and report per-cell metric deltas:
 //
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
         sweep::golden_preset(flags.get("golden", std::string()));
     spec = preset.spec;
     default_out = "results/" + preset.name;
+    std::printf("golden %s: %s\n", preset.name.c_str(),
+                preset.description.c_str());
     // Only the schedule-neutral knob is tunable: the preset's grid, seed,
     // and horizon define the snapshot. Rejecting the rest beats silently
     // running something other than what the flags claim.
