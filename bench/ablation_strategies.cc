@@ -12,6 +12,8 @@
 //
 // Flags: --hours=48 --warmup=4 --seed=42 --threads=<hardware>
 //        --scenario=baseline_diurnal --out=results/ablation_strategies
+// --scenario accepts composite expressions too ("flash_crowd+churn_heavy"):
+// the strategy comparison under any workload the catalog can compose.
 
 #include <cstdio>
 #include <string>

@@ -6,6 +6,11 @@
 // baseline_diurnal — so the numbers stay comparable; change it and the
 // history resets.
 //
+// A second phase replays the grid with keep_results at series_stride 1 vs
+// 8 and *asserts* the downsampled retention shrinks the resident series
+// (the ROADMAP memory item): retained samples must drop at least 2x, or
+// the smoke run fails. Peak RSS (getrusage) is reported alongside.
+//
 // Flags: --hours=1 --warmup=0.25 --threads=<hardware> --seed=42
 //        --out=BENCH_sweep.json
 
@@ -13,14 +18,46 @@
 #include <cstdio>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "expr/flags.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
+#include "util/check.h"
 #include "util/csv.h"
 #include "util/json.h"
 
 using namespace cloudmedia;
+
+namespace {
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+std::size_t retained_samples(const sweep::SweepResult& result) {
+  std::size_t n = 0;
+  for (const expr::ExperimentResult& run : result.results) {
+    n += run.metrics.total_samples();
+  }
+  return n;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
@@ -53,6 +90,29 @@ int main(int argc, char** argv) {
   std::printf("  %zu runs in %.2f s  |  %.2f runs/s  |  %.0f events/s\n",
               result.runs.size(), wall, runs_per_sec, events_per_sec);
 
+  // Retention phase: the same grid with keep_results, full resolution vs
+  // series_stride 8. The stride must shrink what stays resident — this is
+  // the big-grid memory valve, smoke-asserted here so a regression in the
+  // downsampling path fails CI, not a production sweep.
+  sweep::SweepSpec retain = spec;
+  retain.keep_results = true;
+  retain.series_stride = 1;
+  const std::size_t full_samples =
+      retained_samples(sweep::SweepRunner::run(retain));
+  retain.series_stride = 8;
+  const std::size_t strided_samples =
+      retained_samples(sweep::SweepRunner::run(retain));
+  const double rss_mb = peak_rss_mb();
+  std::printf(
+      "  retention: %zu samples at stride 1 -> %zu at stride 8 "
+      "(peak rss %.1f MB)\n",
+      full_samples, strided_samples, rss_mb);
+  CM_ENSURES(strided_samples > 0);
+  // 2x, not stride/2: sparse per-channel series (1-3 samples) shrink by
+  // ceil-division only, so the aggregate ratio sits well under the stride
+  // on short smoke horizons. 2x still proves the downsampling path works.
+  CM_ENSURES(strided_samples * 2 <= full_samples);
+
   util::JsonValue bench = util::JsonValue::object();
   bench["bench"] = "sweep_smoke";
   bench["grid_runs"] = static_cast<double>(result.runs.size());
@@ -63,6 +123,9 @@ int main(int argc, char** argv) {
   bench["runs_per_sec"] = runs_per_sec;
   bench["events_total"] = static_cast<double>(events);
   bench["events_per_sec"] = events_per_sec;
+  bench["retained_samples_full"] = static_cast<double>(full_samples);
+  bench["retained_samples_stride8"] = static_cast<double>(strided_samples);
+  bench["peak_rss_mb"] = rss_mb;
   const std::string out = flags.get("out", std::string("BENCH_sweep.json"));
   const std::size_t slash = out.find_last_of('/');
   if (slash != std::string::npos) util::ensure_directory(out.substr(0, slash));

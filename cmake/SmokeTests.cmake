@@ -36,6 +36,13 @@ if(CLOUDMEDIA_BUILD_TOOLS)
   # pins); CI uploads its CSV/JSON.
   add_smoke_test(sweep_demo tool_sweep --golden=sweep_demo --threads=4
     --out=${CMAKE_BINARY_DIR}/artifacts/sweep_demo)
+  # One composed-scenario sweep per commit: `a+b` goes through
+  # ScenarioCatalog::resolve end to end (CI runs the smoke tier on both
+  # gcc and clang, so the resolver is exercised on each).
+  add_smoke_test(sweep_composed tool_sweep
+    --scenario=flash_crowd+churn_heavy --grid mode=cs,p2p
+    --hours=0.25 --warmup=0.1 --seed=42
+    --out=${CMAKE_BINARY_DIR}/artifacts/sweep_composed)
   # Gate the smoke tier on the checked-in snapshot: the demo output just
   # written above must diff clean against goldens/sweep_demo.json.
   add_smoke_test(golden_diff tool_sweep --diff

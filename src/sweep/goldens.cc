@@ -155,6 +155,29 @@ std::vector<GoldenPreset> build_presets() {
                      "holt-winters"});
   presets.push_back(std::move(prediction));
 
+  // ------------------------------------------------- scenario algebra (PR 5)
+  // Two presets freeze the scenario layer itself: a composite expression
+  // resolved through ScenarioCatalog::resolve (guarding the op-
+  // concatenation semantics) and the richest new primitive (guarding the
+  // catalog growth). Both compare C/S vs P2P so mode stays a shared-seed
+  // system axis.
+
+  GoldenPreset composed = make_preset(
+      "stress_flash_churn",
+      "composed scenario flash_crowd+churn_heavy: spiky arrivals and "
+      "zapping viewers at once, C/S vs P2P",
+      "flash_crowd+churn_heavy", 0.25, 1.0);
+  composed.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(composed));
+
+  GoldenPreset outage = make_preset(
+      "regional_outage",
+      "survivor stack absorbing a failed region's audience on a 55% "
+      "budget slice, C/S vs P2P",
+      "regional_outage", 0.25, 1.0);
+  outage.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(outage));
+
   return presets;
 }
 

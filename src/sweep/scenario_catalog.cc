@@ -9,71 +9,195 @@ namespace {
 
 using workload::DiurnalPattern;
 
+constexpr bool kWorkload = true;
+constexpr bool kSystem = false;
+
+/// Blend two diurnal patterns: own-clock peaks at `own_share` amplitude
+/// plus the same peaks shifted by `offset_hours` at `1 - own_share`. Used
+/// by geo_skewed (50/50) and regional_outage (55/45 survivor/failed).
+DiurnalPattern two_population_diurnal(double own_share, double offset_hours) {
+  const DiurnalPattern base = DiurnalPattern::paper_default();
+  const DiurnalPattern shifted = base.shifted(offset_hours);
+  std::vector<DiurnalPattern::Peak> peaks;
+  for (DiurnalPattern::Peak peak : base.peaks()) {
+    peak.amplitude *= own_share;
+    peaks.push_back(peak);
+  }
+  for (DiurnalPattern::Peak peak : shifted.peaks()) {
+    peak.amplitude *= 1.0 - own_share;
+    peaks.push_back(peak);
+  }
+  return DiurnalPattern(base.base(), peaks);
+}
+
 ScenarioCatalog build_builtins() {
   ScenarioCatalog catalog;
 
+  // The identity of the algebra: paper defaults, no ops. Composing with it
+  // ("baseline_diurnal+x") is the same as "x".
   catalog.add({"baseline_diurnal",
                "paper Sec. VI-A default: 20 Zipf channels, diurnal arrivals "
                "with two flash crowds",
-               [](expr::ExperimentConfig&) {}});
+               {}});
 
   catalog.add({"flash_crowd",
                "quiet base load broken by two steep, short-lived crowds "
                "(3x spikes, ~25-minute sigma)",
-               [](expr::ExperimentConfig& cfg) {
-                 cfg.workload.diurnal = DiurnalPattern(
-                     0.55, {{12.0, 3.0, 0.4}, {20.5, 3.4, 0.45}});
-               }});
+               {{"diurnal.flash_crowd",
+                 "replace the diurnal pattern with a 0.55 base and two "
+                 "sharp 3x/3.4x spikes at 12:00 and 20:30",
+                 kWorkload,
+                 [](expr::ExperimentConfig& cfg) {
+                   cfg.workload.diurnal = DiurnalPattern(
+                       0.55, {{12.0, 3.0, 0.4}, {20.5, 3.4, 0.45}});
+                 }}}});
 
-  catalog.add({"weekend_surge",
-               "sustained high plateau with one broad evening peak — the "
-               "all-day-viewing weekend shape",
-               [](expr::ExperimentConfig& cfg) {
-                 cfg.workload.diurnal =
-                     DiurnalPattern(1.1, {{15.0, 0.8, 3.0}, {21.0, 1.2, 2.0}});
-                 cfg.workload.total_arrival_rate *= 1.15;
-               }});
+  catalog.add(
+      {"weekend_surge",
+       "sustained high plateau with one broad evening peak — the "
+       "all-day-viewing weekend shape",
+       {{"diurnal.weekend_plateau",
+         "replace the diurnal pattern with a 1.1 base and two broad "
+         "afternoon/evening bumps",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.diurnal =
+               DiurnalPattern(1.1, {{15.0, 0.8, 3.0}, {21.0, 1.2, 2.0}});
+         }},
+        {"arrival.weekend_scale",
+         "raise the aggregate arrival rate by 15%",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.total_arrival_rate *= 1.15;
+         }}}});
 
-  catalog.add({"churn_heavy",
-               "zapping viewers: short sessions, frequent VCR jumps; arrival "
-               "rate raised to hold population near the paper's scale",
-               [](expr::ExperimentConfig& cfg) {
-                 cfg.workload.behavior.leave_prob = 0.30;
-                 cfg.workload.behavior.jump_prob = 0.40;
-                 cfg.workload.behavior.alpha = 0.5;
-                 cfg.workload.total_arrival_rate *= 2.4;
-               }});
+  catalog.add(
+      {"churn_heavy",
+       "zapping viewers: short sessions, frequent VCR jumps; arrival "
+       "rate raised to hold population near the paper's scale",
+       {{"behavior.zapping",
+         "short sessions (leave 0.30), frequent VCR jumps (jump 0.40), "
+         "more mid-video entries (alpha 0.5)",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.behavior.leave_prob = 0.30;
+           cfg.workload.behavior.jump_prob = 0.40;
+           cfg.workload.behavior.alpha = 0.5;
+         }},
+        {"arrival.churn_scale",
+         "raise the aggregate arrival rate 2.4x to hold the concurrent "
+         "population near the paper's scale",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.total_arrival_rate *= 2.4;
+         }}}});
 
   catalog.add({"long_tail_catalog",
                "80 channels under a flatter Zipf (exponent 0.6): most "
                "channels sit in the thin tail the pooled sizing must protect",
-               [](expr::ExperimentConfig& cfg) {
-                 cfg.workload.num_channels = 80;
-                 cfg.workload.zipf_exponent = 0.6;
-               }});
+               {{"catalog.long_tail",
+                 "grow the catalog to 80 channels under Zipf exponent 0.6",
+                 kWorkload,
+                 [](expr::ExperimentConfig& cfg) {
+                   cfg.workload.num_channels = 80;
+                   cfg.workload.zipf_exponent = 0.6;
+                 }}}});
 
   catalog.add({"geo_skewed",
                "two viewer populations 8 hours apart: each contributes the "
                "paper's two crowds at half amplitude, shifted by timezone",
-               [](expr::ExperimentConfig& cfg) {
-                 const DiurnalPattern base = DiurnalPattern::paper_default();
-                 const DiurnalPattern shifted = base.shifted(8.0);
-                 std::vector<DiurnalPattern::Peak> peaks;
-                 for (DiurnalPattern::Peak peak : base.peaks()) {
-                   peak.amplitude *= 0.5;
-                   peaks.push_back(peak);
-                 }
-                 for (DiurnalPattern::Peak peak : shifted.peaks()) {
-                   peak.amplitude *= 0.5;
-                   peaks.push_back(peak);
-                 }
-                 cfg.workload.diurnal = DiurnalPattern(base.base(), peaks);
-               }});
+               {{"diurnal.two_timezones",
+                 "split the audience 50/50 across clocks 8 hours apart, "
+                 "each half contributing the paper's peaks at half amplitude",
+                 kWorkload,
+                 [](expr::ExperimentConfig& cfg) {
+                   cfg.workload.diurnal = two_population_diurnal(0.5, 8.0);
+                 }}}});
+
+  // ------------------------------------------------ catalog growth (PR 5)
+
+  catalog.add(
+      {"regional_outage",
+       "one region of the three-region federation collapses mid-peak: the "
+       "surviving stack absorbs the failed region's audience on its "
+       "8-hour-shifted clock, with only the survivor's budget slice",
+       {{"outage.rerouted_audience",
+         "keep the full global audience but blend diurnal clocks 55/45: "
+         "the failed region's 45% share lands with peaks shifted 8 hours",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.diurnal = two_population_diurnal(0.55, 8.0);
+         }},
+        {"budget.survivor_slice",
+         "cut VM and storage budgets to the surviving region's 55% "
+         "proportional share (geo::BudgetSplit::kProportional)",
+         kSystem,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.vm_budget_per_hour *= 0.55;
+           cfg.storage_budget_per_hour *= 0.55;
+         }}}});
+
+  catalog.add(
+      {"live_event_cliff",
+       "synchronized arrival wall at 20:00 followed by mass departure when "
+       "the near-simultaneous sessions end together",
+       {{"diurnal.event_wall",
+         "near-flat 0.25 base with one 8x spike of ~12-minute sigma at "
+         "20:00 — the whole audience arrives at once",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.diurnal = DiurnalPattern(0.25, {{20.0, 8.0, 0.2}});
+         }},
+        {"behavior.synchronized_viewing",
+         "everyone starts at chunk 1 (alpha 1.0) and seeks rarely (jump "
+         "0.05, leave 0.15), so departures cliff when the event ends",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.behavior.alpha = 1.0;
+           cfg.workload.behavior.jump_prob = 0.05;
+           cfg.workload.behavior.leave_prob = 0.15;
+         }}}});
+
+  catalog.add({"catalog_refresh",
+               "channel popularity reshuffles every 2 simulated hours: a "
+               "channel's rank rotates by 7, so demand history predicts the "
+               "wrong channels right after each refresh",
+               {{"catalog.refresh_rotation",
+                 "rotate the channel-to-popularity-rank mapping by 7 ranks "
+                 "every 2 hours (workload::WorkloadConfig refresh knobs)",
+                 kWorkload,
+                 [](expr::ExperimentConfig& cfg) {
+                   cfg.workload.refresh_period_hours = 2.0;
+                   cfg.workload.refresh_shift = 7;
+                 }}}});
+
+  catalog.add(
+      {"startup_stampede",
+       "cold start: a 5x arrival burst centred at t=0 hits a controller "
+       "with no demand history, then decays to a quiet base",
+       {{"diurnal.cold_start_burst",
+         "quiet 0.3 base with one 5x burst of ~18-minute sigma centred at "
+         "hour 0 — the stampede begins the instant the service opens",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.diurnal = DiurnalPattern(0.3, {{0.0, 5.0, 0.3}});
+         }},
+        {"behavior.fresh_audience",
+         "almost every stampeder is a new viewer starting at chunk 1 "
+         "(alpha 0.95) — no resume points in a cold catalog",
+         kWorkload,
+         [](expr::ExperimentConfig& cfg) {
+           cfg.workload.behavior.alpha = 0.95;
+         }}}});
 
   return catalog;
 }
 
 }  // namespace
+
+void Scenario::apply(expr::ExperimentConfig& config) const {
+  for (const ScenarioOp& op : ops) op.apply(config);
+}
 
 ScenarioCatalog ScenarioCatalog::with_builtins() { return build_builtins(); }
 
@@ -84,7 +208,14 @@ const ScenarioCatalog& ScenarioCatalog::global() {
 
 void ScenarioCatalog::add(Scenario scenario) {
   CM_EXPECTS(!scenario.name.empty());
-  CM_EXPECTS(scenario.tweak != nullptr);
+  if (scenario.name.find('+') != std::string::npos) {
+    throw util::PreconditionError("scenario name '" + scenario.name +
+                                  "' contains '+', the composition operator");
+  }
+  for (const ScenarioOp& op : scenario.ops) {
+    CM_EXPECTS(!op.name.empty());
+    CM_EXPECTS(op.apply != nullptr);
+  }
   const auto [it, inserted] =
       scenarios_.emplace(scenario.name, std::move(scenario));
   if (!inserted) {
@@ -92,22 +223,24 @@ void ScenarioCatalog::add(Scenario scenario) {
   }
 }
 
-bool ScenarioCatalog::contains(const std::string& name) const {
-  return scenarios_.count(name) > 0;
+const Scenario* ScenarioCatalog::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
 }
 
 const Scenario& ScenarioCatalog::at(const std::string& name) const {
-  const auto it = scenarios_.find(name);
-  if (it == scenarios_.end()) {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
     std::string known;
     for (const std::string& registered : names()) {
       if (!known.empty()) known += ", ";
       known += registered;
     }
-    throw util::PreconditionError("unknown scenario '" + name +
-                                  "' (known: " + known + ")");
+    throw util::PreconditionError(
+        "unknown scenario '" + name + "' (known: " + known +
+        "; scenarios compose with '+', e.g. flash_crowd+churn_heavy)");
   }
-  return it->second;
+  return *scenario;
 }
 
 std::vector<std::string> ScenarioCatalog::names() const {
@@ -117,10 +250,39 @@ std::vector<std::string> ScenarioCatalog::names() const {
   return out;  // std::map iterates sorted
 }
 
+Scenario ScenarioCatalog::resolve(const std::string& expression) const {
+  std::vector<const Scenario*> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t plus = expression.find('+', start);
+    const std::size_t end = plus == std::string::npos ? expression.size() : plus;
+    const std::string part = expression.substr(start, end - start);
+    if (part.empty()) {
+      throw util::PreconditionError(
+          "bad scenario expression '" + expression +
+          "': empty part (syntax: name or name+name, parts applied left to "
+          "right — e.g. flash_crowd+churn_heavy)");
+    }
+    parts.push_back(&at(part));
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  if (parts.size() == 1) return *parts.front();
+
+  Scenario composed;
+  composed.name = expression;
+  composed.description = "composite (ops apply left to right):";
+  for (const Scenario* part : parts) {
+    composed.description += " " + part->name;
+    for (const ScenarioOp& op : part->ops) composed.ops.push_back(op);
+  }
+  return composed;
+}
+
 expr::ExperimentConfig ScenarioCatalog::make_config(
-    const std::string& name, core::StreamingMode mode) const {
+    const std::string& expression, core::StreamingMode mode) const {
   expr::ExperimentConfig config = expr::ExperimentConfig::make_default(mode);
-  at(name).tweak(config);
+  resolve(expression).apply(config);
   return config;
 }
 

@@ -9,40 +9,82 @@
 
 namespace cloudmedia::sweep {
 
-/// A named, composable workload scenario: a tweak applied on top of the
-/// paper-default ExperimentConfig. Scenarios shape the *workload*
-/// (arrival pattern, catalog, viewing behaviour); serving-side knobs
-/// (mode, strategy) stay sweepable on top of any scenario.
+/// One named, documented config transformation — the unit of the scenario
+/// algebra. A scenario is an ordered list of these; composition
+/// ("flash_crowd+churn_heavy") concatenates the parts' op lists, so a
+/// composite's effect is exactly "apply every op, left to right".
+///
+/// `workload_shaping` mirrors the parameter-applier split in
+/// src/sweep/param_grid.cc: true for ops that reshape the viewer
+/// population (arrival pattern, catalog, viewing behaviour), false for
+/// serving-side knobs (budgets, policies). The flag is introspective —
+/// per-run seeds hash only *grid* coordinates, never scenario ops, so two
+/// sweeps of the same grid face workloads shaped deterministically by
+/// whatever scenario they name.
+struct ScenarioOp {
+  std::string name;         ///< e.g. "diurnal.flash_crowd"
+  std::string description;  ///< what the op changes, for --list and docs
+  bool workload_shaping = true;
+  std::function<void(expr::ExperimentConfig&)> apply;
+};
+
+/// A named workload scenario: ordered ops applied on top of the
+/// paper-default ExperimentConfig. Scenarios primarily shape the
+/// *workload*; serving-side knobs (mode, strategy) stay sweepable on top
+/// of any scenario, though a scenario may carry system-side ops too
+/// (e.g. regional_outage's budget cut).
 struct Scenario {
   std::string name;
   std::string description;
-  std::function<void(expr::ExperimentConfig&)> tweak;
+  std::vector<ScenarioOp> ops;
+
+  /// Apply every op, in order.
+  void apply(expr::ExperimentConfig& config) const;
 };
 
 /// String-keyed registry of scenarios, so benches, tests, and tools select
-/// workloads by name ("flash_crowd") instead of re-rolling config code.
+/// workloads by name ("flash_crowd") or composite expression
+/// ("flash_crowd+churn_heavy") instead of re-rolling config code.
 class ScenarioCatalog {
  public:
   /// The built-in scenarios (baseline_diurnal, flash_crowd, weekend_surge,
-  /// churn_heavy, long_tail_catalog, geo_skewed).
+  /// churn_heavy, long_tail_catalog, geo_skewed, regional_outage,
+  /// live_event_cliff, catalog_refresh, startup_stampede).
   [[nodiscard]] static ScenarioCatalog with_builtins();
   /// Shared immutable instance of with_builtins().
   [[nodiscard]] static const ScenarioCatalog& global();
 
-  /// Throws util::PreconditionError on a duplicate name or missing tweak.
+  /// Throws util::PreconditionError on a duplicate name, an unnamed op, a
+  /// missing op apply function, or a '+' in the name ('+' is the
+  /// composition operator). An empty op list is fine — it is the identity
+  /// of the algebra (baseline_diurnal).
   void add(Scenario scenario);
 
-  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Single-lookup accessor: nullptr when `name` is not registered.
+  /// contains() and at() are built on this, so callers never pay the old
+  /// contains()-then-at() double map walk.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
   /// Throws util::PreconditionError on an unknown name, listing the
-  /// registered ones.
+  /// registered ones and the `a+b` composition syntax.
   [[nodiscard]] const Scenario& at(const std::string& name) const;
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// ExperimentConfig::make_default(mode) with the named scenario's tweak
-  /// applied.
+  /// Resolve a scenario expression: either a single registered name or a
+  /// composite "a+b+..." whose ops are the parts' ops concatenated left to
+  /// right (later ops overwrite what earlier ones set, so order matters
+  /// where parts touch the same field). Deterministic; throws
+  /// util::PreconditionError on an empty expression, an empty part
+  /// ("flash_crowd+", "+"), or an unknown part.
+  [[nodiscard]] Scenario resolve(const std::string& expression) const;
+
+  /// ExperimentConfig::make_default(mode) with the resolved expression's
+  /// ops applied ("flash_crowd" and "flash_crowd+churn_heavy" both work).
   [[nodiscard]] expr::ExperimentConfig make_config(
-      const std::string& name,
+      const std::string& expression,
       core::StreamingMode mode = core::StreamingMode::kClientServer) const;
 
  private:

@@ -21,6 +21,12 @@ void SweepSpec::apply_flags(const expr::Flags& flags) {
   threads = static_cast<unsigned>(requested);
   warmup_hours = flags.get("warmup", warmup_hours);
   measure_hours = flags.get("hours", measure_hours);
+  const long long stride = flags.get_ll(
+      "series-stride", static_cast<long long>(series_stride));
+  if (stride < 1) {
+    throw util::PreconditionError("--series-stride must be >= 1");
+  }
+  series_stride = static_cast<std::size_t>(stride);
 }
 
 std::uint64_t SweepRunner::run_seed(std::uint64_t base_seed,
@@ -31,6 +37,7 @@ std::uint64_t SweepRunner::run_seed(std::uint64_t base_seed,
 SweepResult SweepRunner::run(const SweepSpec& spec,
                              const ScenarioCatalog& catalog) {
   CM_EXPECTS(spec.warmup_hours >= 0.0 && spec.measure_hours > 0.0);
+  CM_EXPECTS(spec.series_stride >= 1);
   const std::size_t n = spec.grid.num_points();
 
   SweepResult result;
@@ -40,12 +47,16 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
   result.runs.resize(n);
   if (spec.keep_results) result.results.resize(n);
 
-  // Fail fast on an unknown scenario before spinning up workers.
-  (void)catalog.at(spec.scenario);
+  // Resolve the scenario expression once, up front: an unknown or
+  // malformed composite fails fast before spinning up workers, and every
+  // run applies the same resolved op list.
+  const Scenario scenario = catalog.resolve(spec.scenario);
 
   auto run_one = [&](std::size_t index) {
     const GridPoint point = spec.grid.point(index);
-    expr::ExperimentConfig config = catalog.make_config(spec.scenario);
+    expr::ExperimentConfig config =
+        expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+    scenario.apply(config);
     config.warmup_hours = spec.warmup_hours;
     config.measure_hours = spec.measure_hours;
     if (spec.customize) spec.customize(config);
@@ -56,7 +67,12 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
     expr::ExperimentResult run_result = expr::ExperimentRunner::run(config);
     result.runs[index] = RunSummary::from_result(spec.scenario, point,
                                                  config.seed, run_result);
-    if (spec.keep_results) result.results[index] = std::move(run_result);
+    if (spec.keep_results) {
+      // Summaries above already captured the full-resolution window stats;
+      // retained series only need the shape.
+      run_result.metrics.downsample(spec.series_stride);
+      result.results[index] = std::move(run_result);
+    }
   };
 
   const unsigned threads =

@@ -11,11 +11,17 @@
 
 namespace cloudmedia::sweep {
 
-/// Everything that defines one sweep: the scenario, the grid, the seed,
-/// and the schedule. Results are bitwise-identical for any `threads`
-/// value because each run owns a private Simulator + StreamingSystem and
-/// a seed derived only from (base_seed, workload coordinates).
+/// Everything that defines one sweep: the scenario expression, the grid,
+/// the seed, and the schedule. Results are bitwise-identical for any
+/// `threads` value because each run owns a private Simulator +
+/// StreamingSystem and a seed derived only from (base_seed, workload
+/// coordinates).
 struct SweepSpec {
+  /// A scenario name or composite expression ("flash_crowd+churn_heavy");
+  /// resolved against the catalog up front, ops applied left to right.
+  /// The expression is carried verbatim into RunSummary rows and the
+  /// CSV/JSON scenario headers, so archived sweeps record their workload
+  /// provenance.
   std::string scenario = "baseline_diurnal";
   ParamGrid grid;               ///< empty grid = one unmodified run
   std::uint64_t base_seed = 42;
@@ -26,14 +32,20 @@ struct SweepSpec {
   /// SweepResult::results. Off by default: summaries are cheap, series for
   /// a big grid are not.
   bool keep_results = false;
+  /// With keep_results, retain only every k-th sample of each run's series
+  /// (1 = full resolution). RunSummary scalars are computed from the full
+  /// series *before* downsampling, so CSV/JSON output is unaffected — this
+  /// only bounds the memory a big-grid keep_results sweep holds resident.
+  std::size_t series_stride = 1;
   /// Extra config tweak applied after the scenario, before the grid point
   /// (benches use this for knobs that are not grid axes).
   std::function<void(expr::ExperimentConfig&)> customize;
 
-  /// Read the shared schedule flags — --seed, --threads, --warmup, --hours
-  /// — with the spec's current values as defaults. The one place the
-  /// string-to-spec conversion (and its validation: --threads must be
-  /// >= 0, 0 meaning "hardware") lives for every sweep binary.
+  /// Read the shared schedule flags — --seed, --threads, --warmup,
+  /// --hours, --series-stride — with the spec's current values as
+  /// defaults. The one place the string-to-spec conversion (and its
+  /// validation: --threads must be >= 0, 0 meaning "hardware";
+  /// --series-stride must be >= 1) lives for every sweep binary.
   void apply_flags(const expr::Flags& flags);
 };
 

@@ -514,4 +514,34 @@ int StreamingSystem::position_count(int channel, int chunk) const {
                         [static_cast<std::size_t>(chunk)];
 }
 
+std::size_t SystemMetrics::total_samples() const noexcept {
+  std::size_t n = reserved_mbps.size() + used_cloud_mbps.size() +
+                  used_peer_mbps.size() + quality.size() +
+                  vm_cost_rate.size() + storage_cost_rate.size() +
+                  concurrent_users.size();
+  for (const ChannelSeries& series : channels) {
+    n += series.size.size() + series.quality.size() +
+         series.provisioned_mbps.size() + series.storage_utility.size() +
+         series.vm_utility.size();
+  }
+  return n;
+}
+
+void SystemMetrics::downsample(std::size_t stride) {
+  CM_EXPECTS(stride >= 1);
+  if (stride == 1) return;
+  for (util::TimeSeries* series :
+       {&reserved_mbps, &used_cloud_mbps, &used_peer_mbps, &quality,
+        &vm_cost_rate, &storage_cost_rate, &concurrent_users}) {
+    *series = series->strided(stride);
+  }
+  for (ChannelSeries& series : channels) {
+    series.size = series.size.strided(stride);
+    series.quality = series.quality.strided(stride);
+    series.provisioned_mbps = series.provisioned_mbps.strided(stride);
+    series.storage_utility = series.storage_utility.strided(stride);
+    series.vm_utility = series.vm_utility.strided(stride);
+  }
+}
+
 }  // namespace cloudmedia::vod

@@ -89,6 +89,15 @@ struct SystemMetrics {
   util::TimeSeries concurrent_users;
   std::vector<ChannelSeries> channels;
   SystemCounters counters;
+
+  /// Total samples retained across every series (system + per-channel) —
+  /// the memory-footprint proxy the sweep retention tests assert on.
+  [[nodiscard]] std::size_t total_samples() const noexcept;
+
+  /// Keep every `stride`-th sample of every series (counters untouched).
+  /// This is the `keep_results` memory valve: a big-grid sweep that only
+  /// needs series *shapes* can shrink its resident results ~stride-fold.
+  void downsample(std::size_t stride);
 };
 
 /// The full CloudMedia system (Fig. 3): user swarms and P2P overlays on one

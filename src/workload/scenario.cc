@@ -1,5 +1,7 @@
 #include "workload/scenario.h"
 
+#include <cmath>
+
 #include "util/check.h"
 #include "util/matrix.h"
 
@@ -25,6 +27,7 @@ void WorkloadConfig::validate() const {
   CM_EXPECTS(uplink_lower > 0.0 && uplink_upper > uplink_lower);
   CM_EXPECTS(uplink_shape > 0.0);
   CM_EXPECTS(streaming_rate > 0.0);
+  CM_EXPECTS(refresh_period_hours >= 0.0);
   behavior.validate();
 }
 
@@ -37,17 +40,36 @@ Workload::Workload(WorkloadConfig config, std::uint64_t seed)
   config_.validate();
 }
 
-double Workload::channel_rate(int channel, double t) const {
+double Workload::channel_weight_at(int channel, double t) const {
   CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
-  return config_.total_arrival_rate *
-         weights_[static_cast<std::size_t>(channel)] *
+  if (config_.refresh_period_hours <= 0.0 || config_.refresh_shift == 0) {
+    return weights_[static_cast<std::size_t>(channel)];
+  }
+  // Epoch e rotates channel c onto rank (c + e*shift) mod n. Total arrival
+  // rate is conserved (the weights are a permutation of themselves), only
+  // who is popular changes.
+  const auto epoch = static_cast<long long>(
+      std::floor(t / (config_.refresh_period_hours * 3600.0)));
+  const auto n = static_cast<long long>(config_.num_channels);
+  long long rank = (channel + epoch * config_.refresh_shift) % n;
+  if (rank < 0) rank += n;
+  return weights_[static_cast<std::size_t>(rank)];
+}
+
+double Workload::channel_rate(int channel, double t) const {
+  return config_.total_arrival_rate * channel_weight_at(channel, t) *
          config_.diurnal.multiplier(t);
 }
 
 double Workload::channel_max_rate(int channel) const {
   CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
-  return config_.total_arrival_rate *
-         weights_[static_cast<std::size_t>(channel)] *
+  // Under a refresh the channel can rotate onto any rank, so the top Zipf
+  // weight (rank 0; zipf_weights sorts descending) is the tight bound.
+  const bool refreshing =
+      config_.refresh_period_hours > 0.0 && config_.refresh_shift != 0;
+  const double weight =
+      refreshing ? weights_[0] : weights_[static_cast<std::size_t>(channel)];
+  return config_.total_arrival_rate * weight *
          config_.diurnal.max_multiplier();
 }
 

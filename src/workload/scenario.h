@@ -33,6 +33,14 @@ struct WorkloadConfig {
   /// DESIGN.md for why the paper's literal Pareto parameters are rescaled.
   double uplink_mean_ratio = 1.0;
   double streaming_rate = 50'000.0;  // bytes/s; r = 400 kbps
+  /// Catalog-refresh reshuffle (the catalog_refresh scenario): every
+  /// `refresh_period_hours` of simulated time the channel-to-popularity-
+  /// rank mapping rotates by `refresh_shift` ranks, so a channel's arrival
+  /// rate jumps to another rank's Zipf weight and demand history predicts
+  /// the wrong channels. 0 (the default) disables the reshuffle and keeps
+  /// the static mapping — and the exact RNG stream — of the paper setup.
+  double refresh_period_hours = 0.0;
+  int refresh_shift = 0;
 
   void validate() const;
 };
@@ -50,9 +58,14 @@ class Workload {
     return weights_;
   }
 
+  /// Popularity weight of channel c at time t: the static Zipf weight, or
+  /// — under a catalog refresh — the weight of the rank the channel
+  /// currently occupies in the rotating mapping.
+  [[nodiscard]] double channel_weight_at(int channel, double t) const;
   /// Instantaneous external arrival rate of channel c at time t.
   [[nodiscard]] double channel_rate(int channel, double t) const;
-  /// Envelope for thinning.
+  /// Envelope for thinning (an upper bound on channel_rate over all t; the
+  /// top Zipf weight when a catalog refresh can rotate the channel there).
   [[nodiscard]] double channel_max_rate(int channel) const;
 
   /// Arrival stream for a channel (independent derived RNG).

@@ -58,10 +58,12 @@ TEST(Goldens, PresetsAreRegisteredAndDistinct) {
   EXPECT_THROW((void)golden_preset("no_such_preset"), util::PreconditionError);
 }
 
-// Every figure and ablation of the paper's evaluation is a named preset:
-// `tool_sweep --golden=<name>` must be able to reproduce any of them, and a
-// rename is a deliberate interface change, not drift. (fig06 has no
-// standalone entry in this list — it shipped first as fig06_modes.)
+// Every figure and ablation of the paper's evaluation is a named preset —
+// plus the two scenario-algebra presets (a composed expression and the
+// richest new primitive): `tool_sweep --golden=<name>` must be able to
+// reproduce any of them, and a rename is a deliberate interface change,
+// not drift. (fig06 has no standalone entry in this list — it shipped
+// first as fig06_modes.)
 TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
   const char* const kExpected[] = {
       "sweep_demo",          "fig06_modes",
@@ -72,6 +74,7 @@ TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
       "ablation_boot_delay", "ablation_chunk_size",
       "ablation_geo",        "ablation_hetero",
       "ablation_p2p_cap",    "ablation_prediction",
+      "stress_flash_churn",  "regional_outage",
   };
   EXPECT_GE(golden_presets().size(), 15u);
   EXPECT_EQ(golden_presets().size(), std::size(kExpected));
@@ -79,6 +82,18 @@ TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
     SCOPED_TRACE(name);
     EXPECT_NO_THROW((void)golden_preset(name));
   }
+}
+
+// The composed preset really is a composite: its spec names an expression
+// the catalog resolves into the two parts' concatenated ops.
+TEST(Goldens, ComposedPresetResolvesThroughTheAlgebra) {
+  const GoldenPreset& preset = golden_preset("stress_flash_churn");
+  EXPECT_EQ(preset.spec.scenario, "flash_crowd+churn_heavy");
+  const Scenario resolved =
+      ScenarioCatalog::global().resolve(preset.spec.scenario);
+  EXPECT_EQ(resolved.ops.size(),
+            ScenarioCatalog::global().at("flash_crowd").ops.size() +
+                ScenarioCatalog::global().at("churn_heavy").ops.size());
 }
 
 // The tentpole acceptance bar: in-process runs of every preset match the

@@ -285,29 +285,74 @@ TEST(SweepRunner, SeedIsStableAcrossProcesses) {
 
 // -------------------------------------------------------- ScenarioCatalog
 
-TEST(ScenarioCatalog, RegistersTheSixBuiltins) {
+TEST(ScenarioCatalog, RegistersTheTenBuiltins) {
   const std::vector<std::string> names = ScenarioCatalog::global().names();
   const std::set<std::string> expected = {
       "baseline_diurnal", "flash_crowd",       "weekend_surge",
-      "churn_heavy",      "long_tail_catalog", "geo_skewed"};
+      "churn_heavy",      "long_tail_catalog", "geo_skewed",
+      "regional_outage",  "live_event_cliff",  "catalog_refresh",
+      "startup_stampede"};
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }
 
-TEST(ScenarioCatalog, UnknownNameThrowsWithListing) {
+TEST(ScenarioCatalog, UnknownNameThrowsWithListingAndSyntax) {
   try {
     (void)ScenarioCatalog::global().at("no_such_scenario");
     FAIL() << "expected PreconditionError";
   } catch (const util::PreconditionError& error) {
-    EXPECT_NE(std::string(error.what()).find("flash_crowd"),
-              std::string::npos);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("flash_crowd"), std::string::npos);
+    // The error must teach the composition syntax, not just list names.
+    EXPECT_NE(what.find("flash_crowd+churn_heavy"), std::string::npos);
   }
 }
 
-TEST(ScenarioCatalog, RejectsDuplicates) {
+TEST(ScenarioCatalog, FindIsSingleLookup) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const Scenario* scenario = catalog.find("flash_crowd");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->name, "flash_crowd");
+  EXPECT_EQ(&catalog.at("flash_crowd"), scenario);  // same map entry
+  EXPECT_EQ(catalog.find("no_such_scenario"), nullptr);
+  EXPECT_TRUE(catalog.contains("flash_crowd"));
+  EXPECT_FALSE(catalog.contains("no_such_scenario"));
+}
+
+TEST(ScenarioCatalog, RejectsDuplicatesBadOpsAndPlusInNames) {
   ScenarioCatalog catalog = ScenarioCatalog::with_builtins();
+  EXPECT_THROW(catalog.add({"flash_crowd", "dup", {}}),
+               util::PreconditionError);
+  // '+' is the composition operator, not a name character.
+  EXPECT_THROW(catalog.add({"a+b", "composite-looking name", {}}),
+               util::PreconditionError);
   EXPECT_THROW(
-      catalog.add({"flash_crowd", "dup", [](expr::ExperimentConfig&) {}}),
+      catalog.add({"bad_op", "op without apply", {{"x", "d", true, nullptr}}}),
       util::PreconditionError);
+  EXPECT_THROW(
+      catalog.add({"unnamed_op",
+                   "op without a name",
+                   {{"", "d", true, [](expr::ExperimentConfig&) {}}}}),
+      util::PreconditionError);
+}
+
+TEST(ScenarioCatalog, EveryOpIsNamedDocumentedAndClassified) {
+  for (const std::string& name : ScenarioCatalog::global().names()) {
+    SCOPED_TRACE(name);
+    const Scenario& scenario = ScenarioCatalog::global().at(name);
+    EXPECT_FALSE(scenario.description.empty());
+    for (const ScenarioOp& op : scenario.ops) {
+      EXPECT_FALSE(op.name.empty());
+      EXPECT_FALSE(op.description.empty());
+      EXPECT_NE(op.apply, nullptr);
+    }
+  }
+  // The identity has no ops; every other builtin has at least one, and the
+  // op split is in use on both sides (regional_outage carries a system op).
+  EXPECT_TRUE(ScenarioCatalog::global().at("baseline_diurnal").ops.empty());
+  const Scenario& outage = ScenarioCatalog::global().at("regional_outage");
+  ASSERT_EQ(outage.ops.size(), 2u);
+  EXPECT_TRUE(outage.ops[0].workload_shaping);
+  EXPECT_FALSE(outage.ops[1].workload_shaping);
 }
 
 // Round-trip: every registered scenario must construct a valid config and
@@ -324,6 +369,161 @@ TEST(ScenarioCatalog, EveryBuiltinRunsTenMinutes) {
     ASSERT_EQ(result.runs.size(), 1u);
     EXPECT_GT(result.runs[0].sim_events, 0u);
   }
+}
+
+// ------------------------------------------------- scenario composition
+
+TEST(ScenarioCatalog, ResolveSingleNameReturnsTheScenarioUnchanged) {
+  const Scenario resolved = ScenarioCatalog::global().resolve("churn_heavy");
+  EXPECT_EQ(resolved.name, "churn_heavy");
+  EXPECT_EQ(resolved.ops.size(),
+            ScenarioCatalog::global().at("churn_heavy").ops.size());
+}
+
+TEST(ScenarioCatalog, ResolveConcatenatesOpsLeftToRight) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const Scenario composed = catalog.resolve("flash_crowd+churn_heavy");
+  EXPECT_EQ(composed.name, "flash_crowd+churn_heavy");
+  const Scenario& flash = catalog.at("flash_crowd");
+  const Scenario& churn = catalog.at("churn_heavy");
+  ASSERT_EQ(composed.ops.size(), flash.ops.size() + churn.ops.size());
+  for (std::size_t i = 0; i < flash.ops.size(); ++i) {
+    EXPECT_EQ(composed.ops[i].name, flash.ops[i].name);
+  }
+  for (std::size_t i = 0; i < churn.ops.size(); ++i) {
+    EXPECT_EQ(composed.ops[flash.ops.size() + i].name, churn.ops[i].name);
+  }
+  // Applying the composite == applying the parts in sequence.
+  expr::ExperimentConfig via_composite =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  composed.apply(via_composite);
+  expr::ExperimentConfig via_parts =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  flash.apply(via_parts);
+  churn.apply(via_parts);
+  EXPECT_DOUBLE_EQ(via_composite.workload.total_arrival_rate,
+                   via_parts.workload.total_arrival_rate);
+  EXPECT_DOUBLE_EQ(via_composite.workload.behavior.leave_prob,
+                   via_parts.workload.behavior.leave_prob);
+  EXPECT_EQ(via_composite.workload.diurnal.peaks().size(),
+            via_parts.workload.diurnal.peaks().size());
+}
+
+TEST(ScenarioCatalog, BaselineIsTheIdentityOfTheAlgebra) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const expr::ExperimentConfig composed =
+      catalog.make_config("baseline_diurnal+flash_crowd");
+  const expr::ExperimentConfig plain = catalog.make_config("flash_crowd");
+  EXPECT_DOUBLE_EQ(composed.workload.diurnal.base(),
+                   plain.workload.diurnal.base());
+  EXPECT_EQ(composed.workload.diurnal.peaks().size(),
+            plain.workload.diurnal.peaks().size());
+  EXPECT_DOUBLE_EQ(composed.workload.total_arrival_rate,
+                   plain.workload.total_arrival_rate);
+}
+
+// Order sensitivity is part of the contract: last writer wins where parts
+// touch the same field, and disjoint parts commute.
+TEST(ScenarioCatalog, CompositionOrderPinnedWhereItMatters) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  // flash_crowd and weekend_surge both replace the diurnal pattern:
+  // whichever comes second owns it (weekend's arrival scale applies in
+  // both orders — it multiplies, it does not overwrite).
+  const expr::ExperimentConfig fw =
+      catalog.make_config("flash_crowd+weekend_surge");
+  const expr::ExperimentConfig wf =
+      catalog.make_config("weekend_surge+flash_crowd");
+  const expr::ExperimentConfig weekend = catalog.make_config("weekend_surge");
+  const expr::ExperimentConfig flash = catalog.make_config("flash_crowd");
+  EXPECT_DOUBLE_EQ(fw.workload.diurnal.base(),
+                   weekend.workload.diurnal.base());
+  EXPECT_DOUBLE_EQ(wf.workload.diurnal.base(), flash.workload.diurnal.base());
+  EXPECT_NE(fw.workload.diurnal.base(), wf.workload.diurnal.base());
+  EXPECT_DOUBLE_EQ(fw.workload.total_arrival_rate,
+                   wf.workload.total_arrival_rate);  // 1.15x either way
+  // Disjoint parts commute: flash_crowd (diurnal) + churn_heavy
+  // (behavior, arrival scale) give the same config in both orders.
+  const expr::ExperimentConfig fc =
+      catalog.make_config("flash_crowd+churn_heavy");
+  const expr::ExperimentConfig cf =
+      catalog.make_config("churn_heavy+flash_crowd");
+  EXPECT_DOUBLE_EQ(fc.workload.diurnal.base(), cf.workload.diurnal.base());
+  EXPECT_DOUBLE_EQ(fc.workload.total_arrival_rate,
+                   cf.workload.total_arrival_rate);
+  EXPECT_DOUBLE_EQ(fc.workload.behavior.jump_prob,
+                   cf.workload.behavior.jump_prob);
+}
+
+TEST(ScenarioCatalog, ResolveRejectsJunkExpressions) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  EXPECT_THROW((void)catalog.resolve(""), util::PreconditionError);
+  EXPECT_THROW((void)catalog.resolve("+"), util::PreconditionError);
+  EXPECT_THROW((void)catalog.resolve("flash_crowd+"), util::PreconditionError);
+  EXPECT_THROW((void)catalog.resolve("+flash_crowd"), util::PreconditionError);
+  EXPECT_THROW((void)catalog.resolve("flash_crowd++churn_heavy"),
+               util::PreconditionError);
+  EXPECT_THROW((void)catalog.resolve("flash_crowd+no_such_scenario"),
+               util::PreconditionError);
+  try {
+    (void)catalog.resolve("flash_crowd+");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("empty part"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------- catalog growth (PR 5)
+
+TEST(ScenarioCatalog, RegionalOutageShapesSurvivorStack) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const expr::ExperimentConfig base = catalog.make_config("baseline_diurnal");
+  const expr::ExperimentConfig outage = catalog.make_config("regional_outage");
+  // Displaced audience: full arrival rate, blended clocks (2x the peaks).
+  EXPECT_DOUBLE_EQ(outage.workload.total_arrival_rate,
+                   base.workload.total_arrival_rate);
+  EXPECT_EQ(outage.workload.diurnal.peaks().size(),
+            2 * base.workload.diurnal.peaks().size());
+  // Survivor budget slice: 55% of the global budgets.
+  EXPECT_NEAR(outage.vm_budget_per_hour, 0.55 * base.vm_budget_per_hour,
+              1e-12);
+  EXPECT_NEAR(outage.storage_budget_per_hour,
+              0.55 * base.storage_budget_per_hour, 1e-12);
+}
+
+TEST(ScenarioCatalog, LiveEventCliffShapesWallAndSynchronizedViewing) {
+  const expr::ExperimentConfig cfg =
+      ScenarioCatalog::global().make_config("live_event_cliff");
+  ASSERT_EQ(cfg.workload.diurnal.peaks().size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.workload.diurnal.peaks()[0].amplitude, 8.0);
+  EXPECT_LT(cfg.workload.diurnal.peaks()[0].width, 0.5);  // a wall, not a hill
+  EXPECT_DOUBLE_EQ(cfg.workload.behavior.alpha, 1.0);  // synchronized start
+  cfg.workload.validate();
+  // The wall dwarfs the base: peak multiplier is dominated by the event.
+  EXPECT_GT(cfg.workload.diurnal.max_multiplier(),
+            8.0 * cfg.workload.diurnal.base());
+}
+
+TEST(ScenarioCatalog, CatalogRefreshEnablesRotation) {
+  const expr::ExperimentConfig cfg =
+      ScenarioCatalog::global().make_config("catalog_refresh");
+  EXPECT_GT(cfg.workload.refresh_period_hours, 0.0);
+  EXPECT_NE(cfg.workload.refresh_shift, 0);
+  cfg.workload.validate();
+  // And the default config keeps it off — the paper setup is static.
+  const expr::ExperimentConfig base =
+      ScenarioCatalog::global().make_config("baseline_diurnal");
+  EXPECT_DOUBLE_EQ(base.workload.refresh_period_hours, 0.0);
+}
+
+TEST(ScenarioCatalog, StartupStampedeBurstsAtTimeZero) {
+  const expr::ExperimentConfig cfg =
+      ScenarioCatalog::global().make_config("startup_stampede");
+  ASSERT_FALSE(cfg.workload.diurnal.peaks().empty());
+  EXPECT_DOUBLE_EQ(cfg.workload.diurnal.peaks()[0].hour, 0.0);
+  // The burst is live the instant the simulation starts — no ramp-in.
+  EXPECT_GT(cfg.workload.diurnal.multiplier(0.0),
+            4.0 * cfg.workload.diurnal.base());
+  cfg.workload.validate();
 }
 
 // --------------------------------------------------- end-to-end determinism
@@ -376,6 +576,94 @@ TEST(SweepRunner, KeepResultsRetainsSeries) {
   for (const expr::ExperimentResult& r : result.results) {
     EXPECT_FALSE(r.metrics.quality.empty());
   }
+}
+
+// The composed-scenario acceptance bar: a composite expression runs, its
+// name is threaded into every row and both output headers, and the output
+// is byte-identical on 1 thread and 8.
+TEST(SweepRunner, ComposedScenarioIsThreadCountInvariant) {
+  SweepSpec spec;
+  spec.scenario = "flash_crowd+churn_heavy";
+  spec.grid.add_axis("mode", {"cs", "p2p"});
+  spec.base_seed = testing::kGoldenSeed;
+  spec.warmup_hours = 0.05;
+  spec.measure_hours = 0.2;
+  spec.threads = 1;
+  const SweepResult serial = SweepRunner::run(spec);
+  spec.threads = 8;
+  const SweepResult parallel = SweepRunner::run(spec);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_json().dump(), parallel.to_json().dump());
+  // Provenance: the composite expression is the scenario, everywhere.
+  EXPECT_EQ(serial.scenario, "flash_crowd+churn_heavy");
+  ASSERT_EQ(serial.runs.size(), 2u);
+  for (const RunSummary& run : serial.runs) {
+    EXPECT_EQ(run.scenario, "flash_crowd+churn_heavy");
+    EXPECT_GT(run.sim_events, 0u);
+  }
+  EXPECT_NE(serial.to_csv().find("flash_crowd+churn_heavy,cs"),
+            std::string::npos);
+  EXPECT_NE(serial.to_json().dump().find("\"flash_crowd+churn_heavy\""),
+            std::string::npos);
+  // And the diff pipeline sees composite headers as ordinary strings: the
+  // same sweep diffs clean against itself.
+  EXPECT_TRUE(diff_sweeps(serial.to_json(), parallel.to_json()).identical());
+}
+
+TEST(SweepRunner, MalformedCompositeFailsFast) {
+  SweepSpec spec;
+  spec.scenario = "flash_crowd+";
+  EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
+  spec.scenario = "flash_crowd+no_such_scenario";
+  EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
+}
+
+// ----------------------------------------- downsampled series retention
+
+TEST(SweepRunner, SeriesStrideShrinksRetainedSeriesNotSummaries) {
+  SweepSpec spec = small_grid_spec(2);
+  spec.keep_results = true;
+  const SweepResult full = SweepRunner::run(spec);
+  spec.series_stride = 8;
+  const SweepResult strided = SweepRunner::run(spec);
+
+  // Summaries are computed before downsampling: CSV/JSON byte-identical.
+  EXPECT_EQ(full.to_csv(), strided.to_csv());
+  EXPECT_EQ(full.to_json().dump(), strided.to_json().dump());
+
+  std::size_t full_samples = 0, strided_samples = 0;
+  for (const expr::ExperimentResult& r : full.results) {
+    full_samples += r.metrics.total_samples();
+  }
+  for (const expr::ExperimentResult& r : strided.results) {
+    strided_samples += r.metrics.total_samples();
+    EXPECT_FALSE(r.metrics.quality.empty());  // shape survives
+  }
+  // ceil(n/8) per series: at least a 4x drop on any non-trivial horizon.
+  EXPECT_GT(strided_samples, 0u);
+  EXPECT_LE(strided_samples * 4, full_samples);
+  // Stride-retained samples are a prefix-stride subset: first sample kept.
+  ASSERT_FALSE(strided.results.empty());
+  EXPECT_EQ(strided.results[0].metrics.quality.time_at(0),
+            full.results[0].metrics.quality.time_at(0));
+}
+
+TEST(SweepSpec, SeriesStrideFlagParsesAndValidates) {
+  {
+    const char* argv[] = {"prog", "--series-stride=16"};
+    SweepSpec spec;
+    spec.apply_flags(expr::Flags(2, argv));
+    EXPECT_EQ(spec.series_stride, 16u);
+  }
+  {
+    const char* argv[] = {"prog", "--series-stride=0"};
+    SweepSpec spec;
+    EXPECT_THROW(spec.apply_flags(expr::Flags(2, argv)),
+                 util::PreconditionError);
+  }
+  SweepSpec spec;
+  spec.series_stride = 0;
+  EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
 }
 
 TEST(SweepSpec, ApplyFlagsReadsScheduleAndValidatesThreads) {

@@ -290,6 +290,77 @@ TEST(Workload, ChannelRatesFollowZipfAndDiurnal) {
   EXPECT_NEAR(total, cfg.diurnal.multiplier(t), 1e-9);
 }
 
+TEST(Workload, CatalogRefreshRotatesPopularityConservingTotal) {
+  WorkloadConfig cfg;
+  cfg.total_arrival_rate = 1.0;
+  cfg.refresh_period_hours = 2.0;
+  cfg.refresh_shift = 7;
+  const Workload w(cfg, 1);
+  const Workload static_w([] {
+    WorkloadConfig c;
+    c.total_arrival_rate = 1.0;
+    return c;
+  }(), 1);
+
+  const double before = 1.0 * 3600.0;   // epoch 0: static mapping
+  const double after = 3.0 * 3600.0;    // epoch 1: rotated by 7
+  // Epoch 0 matches the static workload exactly.
+  for (int c = 0; c < cfg.num_channels; ++c) {
+    EXPECT_DOUBLE_EQ(w.channel_rate(c, before),
+                     static_w.channel_rate(c, before));
+  }
+  // After the refresh, channel c serves rank (c + 7) mod n: the old rank-0
+  // leader drops to rank 7's weight while channel 13 inherits rank 0.
+  EXPECT_DOUBLE_EQ(w.channel_weight_at(0, after), w.channel_weight_at(7, before));
+  EXPECT_DOUBLE_EQ(w.channel_weight_at(13, after),
+                   w.channel_weight_at(0, before));
+  EXPECT_LT(w.channel_rate(0, after), static_w.channel_rate(0, after));
+  // The weights are a permutation: total arrival rate is conserved.
+  double total_before = 0.0, total_after = 0.0;
+  for (int c = 0; c < cfg.num_channels; ++c) {
+    total_before += w.channel_weight_at(c, before);
+    total_after += w.channel_weight_at(c, after);
+  }
+  EXPECT_NEAR(total_before, 1.0, 1e-9);
+  EXPECT_NEAR(total_after, 1.0, 1e-9);
+}
+
+TEST(Workload, CatalogRefreshEnvelopeBoundsEveryEpoch) {
+  WorkloadConfig cfg;
+  cfg.refresh_period_hours = 1.0;
+  cfg.refresh_shift = 3;
+  const Workload w(cfg, 5);
+  // The thinning envelope must bound the rate whatever rank the rotation
+  // hands a channel — sampled across a week of epochs.
+  for (int c = 0; c < cfg.num_channels; c += 5) {
+    const double bound = w.channel_max_rate(c);
+    for (double t = 0.0; t < 7.0 * 24.0 * 3600.0; t += 1800.0) {
+      ASSERT_LE(w.channel_rate(c, t), bound * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(Workload, CatalogRefreshArrivalStreamsStayDeterministic) {
+  WorkloadConfig cfg;
+  cfg.refresh_period_hours = 0.5;
+  cfg.refresh_shift = 7;
+  const Workload a(cfg, 7), b(cfg, 7);
+  PoissonArrivals s1 = a.make_arrivals(2);
+  PoissonArrivals s2 = b.make_arrivals(2);
+  double t1 = 0.0, t2 = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t1 = s1.next_after(t1);
+    t2 = s2.next_after(t2);
+    ASSERT_DOUBLE_EQ(t1, t2);
+  }
+}
+
+TEST(Workload, RefreshValidation) {
+  WorkloadConfig cfg;
+  cfg.refresh_period_hours = -1.0;
+  EXPECT_THROW(cfg.validate(), util::PreconditionError);
+}
+
 TEST(Workload, SessionsDeterministicPerUserIndex) {
   WorkloadConfig cfg;
   const Workload a(cfg, 99), b(cfg, 99);

@@ -1,20 +1,27 @@
-// tool_sweep — run a named scenario across a parameter grid, in parallel,
-// and emit machine-readable CSV + JSON summaries.
+// tool_sweep — run a scenario expression across a parameter grid, in
+// parallel, and emit machine-readable CSV + JSON summaries.
 //
 //   tool_sweep --scenario flash_crowd --grid channels=4,8 --grid mode=cs,p2p
 //              --threads 8 --hours 6 --warmup 1 --seed 42 --out results/sweep
+//
+// Scenarios compose with '+': `--scenario flash_crowd+churn_heavy` applies
+// flash_crowd's ops, then churn_heavy's, left to right (order matters where
+// parts touch the same config field). The composite expression is recorded
+// verbatim in the CSV/JSON scenario column.
 //
 // Output is byte-identical for any --threads value: every run owns its own
 // Simulator + StreamingSystem, and its seed depends only on the base seed
 // and the workload-shaping grid coordinates.
 //
-// Flags: --scenario=baseline_diurnal --grid name=v1,v2 (repeatable)
+// Flags: --scenario=baseline_diurnal (a name or a+b composite)
+//        --grid name=v1,v2 (repeatable)
 //        --threads=<hardware> --hours=6 --warmup=1 --seed=42
 //        --out=results/sweep (writes <out>.csv and <out>.json)
 //        --golden=<preset> (run a frozen golden preset; grid/scenario/seed/
 //                           horizon come from the preset, --threads still
 //                           applies — output must not depend on it)
-//        --list (print scenarios, grid parameters, golden presets and exit)
+//        --list (print scenarios with their ops, grid parameters, golden
+//                presets and exit)
 //        --list-goldens (print one golden preset name per line, for scripts)
 //
 // Every figure and ablation of the paper's evaluation is a golden preset
@@ -51,11 +58,21 @@ using namespace cloudmedia;
 namespace {
 
 void print_listing() {
-  std::printf("scenarios:\n");
+  std::printf("scenarios (compose with '+', ops apply left to right —\n");
+  std::printf("           e.g. --scenario flash_crowd+churn_heavy,\n");
+  std::printf("                --scenario regional_outage+long_tail_catalog):\n");
   const sweep::ScenarioCatalog& catalog = sweep::ScenarioCatalog::global();
   for (const std::string& name : catalog.names()) {
-    std::printf("  %-18s %s\n", name.c_str(),
-                catalog.at(name).description.c_str());
+    const sweep::Scenario& scenario = catalog.at(name);
+    std::printf("  %-18s %s\n", name.c_str(), scenario.description.c_str());
+    for (const sweep::ScenarioOp& op : scenario.ops) {
+      std::printf("    - %-28s [%s] %s\n", op.name.c_str(),
+                  op.workload_shaping ? "workload" : "system",
+                  op.description.c_str());
+    }
+    if (scenario.ops.empty()) {
+      std::printf("    (no ops: the identity — paper defaults)\n");
+    }
   }
   std::printf("\ngrid parameters (--grid name=v1,v2,...):\n");
   for (const std::string& name : sweep::known_parameters()) {
