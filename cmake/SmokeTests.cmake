@@ -43,6 +43,13 @@ if(CLOUDMEDIA_BUILD_TOOLS)
     --scenario=flash_crowd+churn_heavy --grid mode=cs,p2p
     --hours=0.25 --warmup=0.1 --seed=42
     --out=${CMAKE_BINARY_DIR}/artifacts/sweep_composed)
+  # One timed-scenario sweep per commit: `@`-ops travel through resolve,
+  # land on the config timeline, and fire at the hour-1 and hour-2
+  # provisioning boundaries inside the 0.5 + 2.5 h horizon.
+  add_smoke_test(sweep_timeline tool_sweep
+    --scenario=regional_outage@1h+recovery@2h --grid mode=cs
+    --hours=2.5 --warmup=0.5 --seed=42
+    --out=${CMAKE_BINARY_DIR}/artifacts/sweep_timeline)
   # Gate the smoke tier on the checked-in snapshot: the demo output just
   # written above must diff clean against goldens/sweep_demo.json.
   add_smoke_test(golden_diff tool_sweep --diff

@@ -11,6 +11,14 @@ SlaNegotiator::SlaNegotiator(SlaTerms terms) : terms_(std::move(terms)) {
   CM_EXPECTS(!terms_.nfs_clusters.empty());
 }
 
+void SlaNegotiator::set_budgets(double vm_budget_per_hour,
+                                double storage_budget_per_hour) {
+  CM_EXPECTS(vm_budget_per_hour >= 0.0);
+  CM_EXPECTS(storage_budget_per_hour >= 0.0);
+  terms_.vm_budget_per_hour = vm_budget_per_hour;
+  terms_.storage_budget_per_hour = storage_budget_per_hour;
+}
+
 bool SlaNegotiator::admit(const core::ProvisioningPlan& plan,
                           std::string* reason) const {
   // Fractional VM-hours must respect the negotiated budget; packing whole

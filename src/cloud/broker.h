@@ -29,6 +29,11 @@ class SlaNegotiator {
   [[nodiscard]] bool admit(const core::ProvisioningPlan& plan,
                            std::string* reason) const;
 
+  /// Renegotiate the budget ceilings (the cluster menus are fixed for the
+  /// life of the agreement). Timed scenario ops route through here so a
+  /// mid-run budget cut binds billing, not just the consumer's optimizer.
+  void set_budgets(double vm_budget_per_hour, double storage_budget_per_hour);
+
   [[nodiscard]] const SlaTerms& terms() const noexcept { return terms_; }
 
  private:

@@ -52,6 +52,13 @@ class CloudService {
   [[nodiscard]] const CostMeter& billing() const noexcept { return billing_; }
   [[nodiscard]] const SlaNegotiator& sla() const noexcept { return sla_; }
 
+  /// Renegotiate the SLA budget ceilings mid-run (timed scenario ops:
+  /// a regional outage cuts them, recovery restores them). Plans already
+  /// admitted keep running; the next submit_plan() faces the new terms.
+  void set_budgets(double vm_budget_per_hour, double storage_budget_per_hour) {
+    sla_.set_budgets(vm_budget_per_hour, storage_budget_per_hour);
+  }
+
  private:
   sim::Simulator* sim_;
   SlaNegotiator sla_;

@@ -168,6 +168,13 @@ Controller::Controller(VodParameters params, ControllerConfig config,
   CM_EXPECTS(policy_ != nullptr);
 }
 
+void Controller::set_budgets(double vm_budget_per_hour,
+                             double storage_budget_per_hour) {
+  config_.vm_budget_per_hour = vm_budget_per_hour;
+  config_.storage_budget_per_hour = storage_budget_per_hour;
+  config_.validate();
+}
+
 ProvisioningPlan Controller::plan(const TrackerReport& report) const {
   const auto j = static_cast<std::size_t>(params_.chunks_per_video);
 

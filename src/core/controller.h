@@ -157,6 +157,12 @@ class Controller {
 
   [[nodiscard]] ProvisioningPlan plan(const TrackerReport& report) const;
 
+  /// Renegotiate the budget ceilings mid-run (the timed-scenario hook:
+  /// regional_outage@6h cuts them, recovery@18h restores them). Takes
+  /// effect from the next plan() — the controller re-reads its config
+  /// every interval, exactly the Sec. V-B adaptivity loop.
+  void set_budgets(double vm_budget_per_hour, double storage_budget_per_hour);
+
   [[nodiscard]] const ControllerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const VodParameters& params() const noexcept { return params_; }
   [[nodiscard]] const DemandPolicy& policy() const noexcept { return *policy_; }

@@ -1,5 +1,7 @@
 #include "expr/config.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace cloudmedia::expr {
@@ -50,6 +52,16 @@ void ExperimentConfig::validate() const {
   CM_EXPECTS(vm_boot_delay >= 0.0);
   CM_EXPECTS(warmup_hours >= 0.0 && measure_hours > 0.0);
   CM_EXPECTS(reactive_margin >= 1.0);
+  for (const TimedConfigOp& op : timeline) {
+    if (!(op.fire_time > 0.0) || !std::isfinite(op.fire_time)) {
+      throw util::PreconditionError(
+          "timeline op '" + op.name +
+          "' has a non-positive or non-finite fire time; timed scenario ops "
+          "(name@6h) must fire strictly after t=0");
+    }
+    CM_EXPECTS(!op.name.empty());
+    CM_EXPECTS(op.apply != nullptr);
+  }
 }
 
 }  // namespace cloudmedia::expr

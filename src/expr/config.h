@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,28 @@ enum class Strategy {
 };
 
 [[nodiscard]] std::string to_string(Strategy strategy);
+
+struct ExperimentConfig;
+
+/// One scheduled mid-run config mutation — the runtime form of a scenario
+/// op carrying an `@fire-time` suffix (sweep::ScenarioOp::fire_time). The
+/// experiment loop applies pending ops, sorted by fire time, at the first
+/// controller-interval boundary >= fire_time, then re-propagates the
+/// mutated config into the live system (workload shape, budgets, SLA).
+///
+/// `apply(live, baseline)` mutates the running config in place; `baseline`
+/// is a snapshot taken before any timeline op fired, so ops like the
+/// `recovery` primitive can restore pre-outage values. `workload_shaping`
+/// mirrors the scenario-op tag and is introspective only: timed ops never
+/// enter ParamGrid::workload_hash / SweepRunner::run_seed, so a timeline
+/// replays the byte-identical viewer population at any thread count.
+struct TimedConfigOp {
+  double fire_time = 0.0;   ///< seconds of simulated time; must be > 0
+  std::string name;         ///< the scenario op's name, for errors and logs
+  bool workload_shaping = true;
+  std::function<void(ExperimentConfig& live, const ExperimentConfig& baseline)>
+      apply;
+};
 
 /// A complete experiment: workload, VoD model, cloud menu, controller
 /// policy, and schedule. Defaults reproduce the paper's Sec. VI-A setup;
@@ -54,6 +77,15 @@ struct ExperimentConfig {
   double warmup_hours = 4.0;                  ///< excluded from summaries
   double measure_hours = 100.0;               ///< the paper's Fig.-4/5 window
   std::uint64_t seed = 42;
+
+  /// Scheduled mid-run mutations, filled by Scenario::apply from ops with
+  /// an `@fire-time` suffix (e.g. "regional_outage@6h+recovery@18h"). The
+  /// runner sorts by fire time and applies each at the first provisioning-
+  /// interval boundary >= its fire time; ops past total_duration() never
+  /// fire. Structural fields (mode, strategy, catalog size, cluster menus,
+  /// seed, horizons) are frozen at t=0 — a timeline op that touches one is
+  /// rejected before the simulation starts.
+  std::vector<TimedConfigOp> timeline;
 
   /// Paper-default configuration for the given mode.
   [[nodiscard]] static ExperimentConfig make_default(core::StreamingMode mode);

@@ -1,5 +1,7 @@
 #include "expr/runner.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "cloud/cloud_service.h"
@@ -86,6 +88,81 @@ std::unique_ptr<core::DemandPolicy> make_policy(
   throw util::PreconditionError("unknown strategy");
 }
 
+void require_unchanged(bool unchanged, const std::string& op_name,
+                       const char* field) {
+  if (unchanged) return;
+  throw util::PreconditionError(
+      "timeline op '" + op_name + "' changed " + field +
+      ", which is wired into the running system at t=0 and cannot change "
+      "mid-run (timed scenario ops may reshape the arrival pattern, viewing "
+      "behaviour, catalog popularity, peer uplinks, and the VM/storage "
+      "budgets)");
+}
+
+/// The fields a timed op may NOT touch: everything the simulation bakes in
+/// before t=0 — pool/menu sizing, the policy object, the RNG seed, the
+/// schedule. Checked in a pre-run dry pass so a bad timeline fails fast
+/// with a teaching error instead of silently no-opping mid-run.
+void enforce_mid_run_mutable(const ExperimentConfig& before,
+                             const ExperimentConfig& after,
+                             const std::string& op_name) {
+  require_unchanged(after.mode == before.mode, op_name, "mode");
+  require_unchanged(after.capacity_model == before.capacity_model, op_name,
+                    "capacity_model");
+  require_unchanged(after.occupancy_floor == before.occupancy_floor, op_name,
+                    "occupancy_floor");
+  require_unchanged(after.strategy == before.strategy, op_name, "strategy");
+  require_unchanged(after.reactive_margin == before.reactive_margin, op_name,
+                    "reactive_margin");
+  require_unchanged(after.vm_boot_delay == before.vm_boot_delay, op_name,
+                    "vm_boot_delay");
+  require_unchanged(after.seed == before.seed, op_name, "seed");
+  require_unchanged(after.warmup_hours == before.warmup_hours &&
+                        after.measure_hours == before.measure_hours,
+                    op_name, "the measurement horizon");
+  require_unchanged(after.vm_clusters.size() == before.vm_clusters.size() &&
+                        after.nfs_clusters.size() == before.nfs_clusters.size(),
+                    op_name, "the cluster menus");
+  require_unchanged(after.workload.num_channels == before.workload.num_channels,
+                    op_name, "workload.num_channels");
+  require_unchanged(
+      after.workload.chunks_per_video == before.workload.chunks_per_video,
+      op_name, "workload.chunks_per_video");
+  require_unchanged(
+      after.workload.streaming_rate == before.workload.streaming_rate, op_name,
+      "workload.streaming_rate");
+}
+
+/// Dry-run the timeline against a scratch config: rejects ops that touch
+/// frozen fields, validates every intermediate workload, and returns the
+/// arrival-envelope headroom — the max, over timeline states and channels,
+/// of channel_max_rate relative to the t=0 config. PoissonArrivals freezes
+/// its thinning envelope at construction, so a mid-run rate increase must
+/// be pre-paid here. An empty timeline returns exactly 1.0, which
+/// multiplies bit-neutrally into the envelope (untimed runs keep their
+/// arrival streams byte-identical).
+double timeline_envelope_headroom(const std::vector<TimedConfigOp>& timeline,
+                                  const ExperimentConfig& baseline) {
+  if (timeline.empty()) return 1.0;
+  double headroom = 1.0;
+  const workload::Workload initial(baseline.workload, /*seed=*/0);
+  ExperimentConfig scratch = baseline;
+  for (const TimedConfigOp& op : timeline) {
+    const ExperimentConfig before_op = scratch;
+    op.apply(scratch, baseline);
+    enforce_mid_run_mutable(before_op, scratch, op.name);
+    scratch.workload.validate();
+    const workload::Workload after(scratch.workload, /*seed=*/0);
+    for (int c = 0; c < baseline.workload.num_channels; ++c) {
+      const double base_rate = initial.channel_max_rate(c);
+      if (base_rate > 0.0) {
+        headroom = std::max(headroom, after.channel_max_rate(c) / base_rate);
+      }
+    }
+  }
+  return headroom;
+}
+
 }  // namespace
 
 double ExperimentResult::mean_quality() const {
@@ -126,34 +203,74 @@ double ExperimentResult::reserved_covers_used_fraction() const {
 ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   config.validate();
 
+  // `live` is the config the running system reads; timed ops mutate it at
+  // their boundary. `baseline` is the pre-timeline snapshot handed to
+  // baseline-aware ops (the recovery primitive restores values from it).
+  ExperimentConfig live = config;
+  std::stable_sort(live.timeline.begin(), live.timeline.end(),
+                   [](const TimedConfigOp& a, const TimedConfigOp& b) {
+                     return a.fire_time < b.fire_time;
+                   });
+  ExperimentConfig baseline = live;
+  baseline.timeline.clear();
+
+  // Dry pass: rejects timeline ops touching frozen fields and pre-pays the
+  // arrival-envelope headroom for any mid-run rate increase. Exactly 1.0
+  // (bit-neutral) when the timeline is empty.
+  const double headroom = timeline_envelope_headroom(live.timeline, baseline);
+
   sim::Simulator simulator;
-  const workload::Workload workload(config.workload, config.seed);
+  workload::Workload workload(live.workload, live.seed, headroom);
 
   cloud::CloudConfig cloud_config;
-  cloud_config.sla = cloud::SlaTerms{config.vm_budget_per_hour,
-                                     config.storage_budget_per_hour,
-                                     config.vm_clusters, config.nfs_clusters};
+  cloud_config.sla = cloud::SlaTerms{live.vm_budget_per_hour,
+                                     live.storage_budget_per_hour,
+                                     live.vm_clusters, live.nfs_clusters};
   cloud_config.vm =
-      cloud::VmSchedulerConfig{config.vm_boot_delay, config.vod.vm_bandwidth};
+      cloud::VmSchedulerConfig{live.vm_boot_delay, live.vod.vm_bandwidth};
   cloud::CloudService cloud(simulator, cloud_config);
 
   core::ControllerConfig controller_config{
-      config.vm_clusters, config.nfs_clusters, config.vm_budget_per_hour,
-      config.storage_budget_per_hour};
+      live.vm_clusters, live.nfs_clusters, live.vm_budget_per_hour,
+      live.storage_budget_per_hour};
   auto controller = std::make_unique<core::Controller>(
-      config.vod, controller_config, make_policy(config, workload));
+      live.vod, controller_config, make_policy(live, workload));
 
-  vod::StreamingOptions options = config.streaming;
-  options.mode = config.mode;
-  vod::StreamingSystem system(simulator, workload, config.vod, cloud,
+  vod::StreamingOptions options = live.streaming;
+  options.mode = live.mode;
+  vod::StreamingSystem system(simulator, workload, live.vod, cloud,
                               std::move(controller), options);
+
+  // Schedule the timeline BEFORE system.start(): the simulator fires
+  // equal-timestamp events in scheduling order, so a mutation scheduled
+  // here precedes the provisioning pass of its own boundary — the first
+  // post-fire plan already sees the mutated config. Each op lands at the
+  // first controller-interval boundary >= its fire time (ISSUE semantics);
+  // ops whose boundary falls past the horizon never fire.
+  const double interval = options.provisioning_interval;
+  for (const TimedConfigOp& op : live.timeline) {
+    double boundary =
+        std::ceil(op.fire_time / interval - 1e-9) * interval;
+    boundary = std::max(boundary, interval);
+    if (boundary > live.total_duration()) continue;
+    simulator.schedule_at(
+        boundary, [&live, &baseline, &workload, &system, &cloud, &op] {
+          op.apply(live, baseline);
+          workload.set_config(live.workload);
+          system.controller().set_budgets(live.vm_budget_per_hour,
+                                          live.storage_budget_per_hour);
+          cloud.set_budgets(live.vm_budget_per_hour,
+                            live.storage_budget_per_hour);
+        });
+  }
+
   system.start();
-  simulator.run_until(config.total_duration());
+  simulator.run_until(live.total_duration());
 
   ExperimentResult result;
   result.metrics = system.metrics();
-  result.measure_start = config.measure_start();
-  result.measure_end = config.total_duration();
+  result.measure_start = live.measure_start();
+  result.measure_end = live.total_duration();
   result.vm_cost_total = cloud.billing().total("vm");
   result.storage_cost_total = cloud.billing().total("storage");
   result.plans_submitted =

@@ -178,6 +178,20 @@ std::vector<GoldenPreset> build_presets() {
   outage.spec.grid.add_axis("mode", {"cs", "p2p"});
   presets.push_back(std::move(outage));
 
+  // --------------------------------------------- scheduled timeline (PR 6)
+  // Freezes the timed-op machinery end to end: the outage collapses the
+  // config at the hour-1 boundary (first boundary >= 45m) and the recovery
+  // restores the pre-timeline snapshot at hour 2, inside a 3-hour run —
+  // the controller visibly dips and re-converges, and the snapshot pins
+  // both transitions byte-for-byte at any thread count.
+  GoldenPreset transient = make_preset(
+      "outage_transient",
+      "mid-run regional outage at 45m healed by a timed recovery at 90m, "
+      "C/S vs P2P",
+      "regional_outage@45m+recovery@90m", 0.25, 2.75);
+  transient.spec.grid.add_axis("mode", {"cs", "p2p"});
+  presets.push_back(std::move(transient));
+
   return presets;
 }
 

@@ -347,6 +347,11 @@ GridPoint ParamGrid::point(std::size_t index) const {
 }
 
 std::uint64_t ParamGrid::workload_hash(const GridPoint& point) {
+  // Hashes *grid* coordinates only — scenario ops, timed or not, never
+  // enter this hash. That is a load-bearing invariant: adding an `@`-timed
+  // system op to a scenario expression (regional_outage@6h+recovery@18h)
+  // must replay the byte-identical viewer population of the plain run, at
+  // any --threads value (pinned by timeline_test.cc).
   std::uint64_t hash = kFnvOffset;
   for (const auto& [name, value] : point.coords) {
     if (!parameter_affects_workload(name)) continue;

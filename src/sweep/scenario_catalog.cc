@@ -1,7 +1,13 @@
 #include "sweep/scenario_catalog.h"
 
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
 #include "util/check.h"
 #include "workload/distributions.h"
+#include "workload/viewing.h"
 
 namespace cloudmedia::sweep {
 
@@ -11,6 +17,14 @@ using workload::DiurnalPattern;
 
 constexpr bool kWorkload = true;
 constexpr bool kSystem = false;
+
+std::string trim(const std::string& text) {
+  const char* ws = " \t";
+  const std::size_t begin = text.find_first_not_of(ws);
+  if (begin == std::string::npos) return {};
+  const std::size_t end = text.find_last_not_of(ws);
+  return text.substr(begin, end - begin + 1);
+}
 
 /// Blend two diurnal patterns: own-clock peaks at `own_share` amplitude
 /// plus the same peaks shifted by `offset_hours` at `1 - own_share`. Used
@@ -190,13 +204,142 @@ ScenarioCatalog build_builtins() {
            cfg.workload.behavior.alpha = 0.95;
          }}}});
 
+  // ------------------------------------------------- timed events (PR 6)
+
+  // The recovery primitive restores the *pre-timeline* snapshot: the config
+  // as the runner saw it before any timed op fired (paper defaults plus
+  // every untimed op, grid coordinate, and customize hook). Composed after
+  // a timed disturbance ("regional_outage@6h+recovery@18h") it undoes the
+  // disturbance; without a fire time nothing has diverged yet, so it is
+  // the identity of the algebra like baseline_diurnal.
+  catalog.add(
+      {"recovery",
+       "scheduled return to the pre-timeline config: restores workload "
+       "shape and budgets to the values they had before any timed op "
+       "fired; compose with a fire time (regional_outage@6h+recovery@18h) "
+       "— untimed it is the identity",
+       {{"timeline.recover_workload",
+         "restore the arrival pattern, viewing behaviour, catalog "
+         "popularity, and peer uplinks to their pre-timeline values",
+         kWorkload,
+         [](expr::ExperimentConfig&) {},  // untimed: nothing diverged yet
+         0.0,
+         [](expr::ExperimentConfig& live,
+            const expr::ExperimentConfig& baseline) {
+           live.workload = baseline.workload;
+         }},
+        {"timeline.recover_budgets",
+         "restore the VM and storage budgets to their pre-timeline values "
+         "(the SLA is renegotiated at the same boundary)",
+         kSystem,
+         [](expr::ExperimentConfig&) {},
+         0.0,
+         [](expr::ExperimentConfig& live,
+            const expr::ExperimentConfig& baseline) {
+           live.vm_budget_per_hour = baseline.vm_budget_per_hour;
+           live.storage_budget_per_hour = baseline.storage_budget_per_hour;
+         }}}});
+
+  // startup_stampede reshapes the config at t=0 (its ops are untimed), so
+  // the pre-timeline snapshot recovery restores *includes* the stampede —
+  // healing it needs a bespoke timed op that puts back the paper-default
+  // diurnal and entry mix instead of the recovery primitive.
+  {
+    Scenario stampede = catalog.at("startup_stampede");
+    stampede.name = "stampede_recovery";
+    stampede.description =
+        "cold-start stampede the schedule heals: the 5x t=0 burst shapes "
+        "the run until hour 4, when the crowd subsides to the paper "
+        "baseline and the controller re-converges";
+    stampede.ops.push_back(
+        {"timeline.stampede_subsides",
+         "at hour 4 the stampede is over: restore the paper-default "
+         "diurnal pattern and entry mix (alpha back to the default)",
+         kWorkload,
+         [](expr::ExperimentConfig&) {},  // untimed form never applies
+         4.0 * 3600.0,
+         [](expr::ExperimentConfig& live, const expr::ExperimentConfig&) {
+           live.workload.diurnal = DiurnalPattern::paper_default();
+           live.workload.behavior.alpha = workload::ViewingBehavior{}.alpha;
+         }});
+    catalog.add(std::move(stampede));
+  }
+
   return catalog;
 }
 
 }  // namespace
 
 void Scenario::apply(expr::ExperimentConfig& config) const {
-  for (const ScenarioOp& op : ops) op.apply(config);
+  for (const ScenarioOp& op : ops) {
+    if (op.fire_time > 0.0) {
+      expr::TimedConfigOp timed;
+      timed.fire_time = op.fire_time;
+      timed.name = op.name;
+      timed.workload_shaping = op.workload_shaping;
+      if (op.apply_at_fire) {
+        timed.apply = op.apply_at_fire;
+      } else {
+        timed.apply = [fn = op.apply](expr::ExperimentConfig& live,
+                                      const expr::ExperimentConfig&) {
+          fn(live);
+        };
+      }
+      config.timeline.push_back(std::move(timed));
+    } else {
+      op.apply(config);
+    }
+  }
+}
+
+double parse_fire_time(const std::string& text) {
+  const auto bad = [&text](const std::string& why) {
+    return util::PreconditionError(
+        "bad fire time '" + text + "': " + why +
+        " (syntax: <number><unit> with unit h, m, or s — e.g. "
+        "regional_outage@6h, recovery@30m, catalog_refresh@90s)");
+  };
+  if (text.empty()) throw bad("missing time after '@'");
+  const char unit = text.back();
+  double scale = 0.0;
+  if (unit == 'h') {
+    scale = 3600.0;
+  } else if (unit == 'm') {
+    scale = 60.0;
+  } else if (unit == 's') {
+    scale = 1.0;
+  } else {
+    throw bad(std::string("unknown unit '") + unit + "'");
+  }
+  const std::string number = text.substr(0, text.size() - 1);
+  if (number.empty()) throw bad("missing value before the unit");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    throw bad("'" + number + "' is not a number");
+  }
+  if (consumed != number.size()) throw bad("'" + number + "' is not a number");
+  if (!std::isfinite(value) || value < 0.0) {
+    throw bad("the value must be finite and >= 0");
+  }
+  return value * scale;
+}
+
+std::string format_fire_time(double seconds) {
+  char buffer[64];
+  double value = seconds;
+  char unit = 's';
+  if (seconds >= 3600.0 && std::fmod(seconds, 3600.0) == 0.0) {
+    value = seconds / 3600.0;
+    unit = 'h';
+  } else if (seconds >= 60.0 && std::fmod(seconds, 60.0) == 0.0) {
+    value = seconds / 60.0;
+    unit = 'm';
+  }
+  std::snprintf(buffer, sizeof buffer, "%g%c", value, unit);
+  return buffer;
 }
 
 ScenarioCatalog ScenarioCatalog::with_builtins() { return build_builtins(); }
@@ -215,6 +358,7 @@ void ScenarioCatalog::add(Scenario scenario) {
   for (const ScenarioOp& op : scenario.ops) {
     CM_EXPECTS(!op.name.empty());
     CM_EXPECTS(op.apply != nullptr);
+    CM_EXPECTS(op.fire_time >= 0.0 && std::isfinite(op.fire_time));
   }
   const auto [it, inserted] =
       scenarios_.emplace(scenario.name, std::move(scenario));
@@ -251,30 +395,80 @@ std::vector<std::string> ScenarioCatalog::names() const {
 }
 
 Scenario ScenarioCatalog::resolve(const std::string& expression) const {
-  std::vector<const Scenario*> parts;
+  struct Part {
+    const Scenario* scenario;
+    double offset;      ///< seconds; 0 = untimed
+    std::string token;  ///< canonical form, e.g. "regional_outage@6h"
+  };
+  std::vector<Part> parts;
+  std::set<std::pair<std::string, double>> seen;
   std::size_t start = 0;
   for (;;) {
     const std::size_t plus = expression.find('+', start);
     const std::size_t end = plus == std::string::npos ? expression.size() : plus;
-    const std::string part = expression.substr(start, end - start);
-    if (part.empty()) {
+    const std::string raw = expression.substr(start, end - start);
+    const std::string token = trim(raw);
+    if (token.empty()) {
       throw util::PreconditionError(
-          "bad scenario expression '" + expression +
-          "': empty part (syntax: name or name+name, parts applied left to "
-          "right — e.g. flash_crowd+churn_heavy)");
+          "bad scenario expression '" + expression + "': empty part '" + raw +
+          "' (syntax: name or name+name, parts applied left to right, each "
+          "optionally timed with @<number><h|m|s> — e.g. "
+          "flash_crowd+churn_heavy, regional_outage@6h+recovery@18h)");
     }
-    parts.push_back(&at(part));
+    std::string name = token;
+    double offset = 0.0;
+    const std::size_t at_pos = token.find('@');
+    if (at_pos != std::string::npos) {
+      if (token.find('@', at_pos + 1) != std::string::npos) {
+        throw util::PreconditionError(
+            "bad scenario part '" + token +
+            "': more than one '@' (a part takes at most one fire time, "
+            "e.g. regional_outage@6h)");
+      }
+      name = trim(token.substr(0, at_pos));
+      if (name.empty()) {
+        throw util::PreconditionError(
+            "bad scenario part '" + token +
+            "': missing scenario name before '@' (syntax: name@<number>"
+            "<h|m|s>, e.g. regional_outage@6h)");
+      }
+      offset = parse_fire_time(trim(token.substr(at_pos + 1)));
+    }
+    const Scenario& scenario = at(name);
+    if (!seen.emplace(name, offset).second) {
+      const std::string canonical =
+          offset > 0.0 ? name + "@" + format_fire_time(offset) : name;
+      throw util::PreconditionError(
+          "bad scenario expression '" + expression + "': duplicate part '" +
+          canonical +
+          "' — repeating a part double-applies its multiplicative ops "
+          "(e.g. churn_heavy's arrival scale), so a repeat is only legal "
+          "at distinct fire times (churn_heavy@2h+churn_heavy@4h)");
+    }
+    parts.push_back(
+        {&scenario, offset,
+         offset > 0.0 ? name + "@" + format_fire_time(offset) : name});
     if (plus == std::string::npos) break;
     start = plus + 1;
   }
-  if (parts.size() == 1) return *parts.front();
+  if (parts.size() == 1 && parts.front().offset == 0.0) {
+    return *parts.front().scenario;
+  }
 
   Scenario composed;
-  composed.name = expression;
-  composed.description = "composite (ops apply left to right):";
-  for (const Scenario* part : parts) {
-    composed.description += " " + part->name;
-    for (const ScenarioOp& op : part->ops) composed.ops.push_back(op);
+  composed.description = parts.size() == 1
+                             ? "timed:"
+                             : "composite (ops apply left to right):";
+  for (const Part& part : parts) {
+    if (!composed.name.empty()) composed.name += "+";
+    composed.name += part.token;
+    composed.description += " " + part.token;
+    for (ScenarioOp op : part.scenario->ops) {
+      // `part@T` shifts the whole part by T: untimed ops fire at T, ops
+      // registered with their own fire time keep their relative schedule.
+      op.fire_time += part.offset;
+      composed.ops.push_back(std::move(op));
+    }
   }
   return composed;
 }

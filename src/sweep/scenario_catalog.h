@@ -22,11 +22,53 @@ namespace cloudmedia::sweep {
 /// sweeps of the same grid face workloads shaped deterministically by
 /// whatever scenario they name.
 struct ScenarioOp {
+  ScenarioOp() = default;
+  /// Not an aggregate on purpose: the trailing timed-op fields default so
+  /// the catalog's many untimed `{name, description, tag, apply}` brace
+  /// initializers stay warning-free under -Wmissing-field-initializers.
+  ScenarioOp(std::string name_, std::string description_,
+             bool workload_shaping_,
+             std::function<void(expr::ExperimentConfig&)> apply_,
+             double fire_time_ = 0.0,
+             std::function<void(expr::ExperimentConfig&,
+                                const expr::ExperimentConfig&)>
+                 apply_at_fire_ = nullptr)
+      : name(std::move(name_)),
+        description(std::move(description_)),
+        workload_shaping(workload_shaping_),
+        apply(std::move(apply_)),
+        fire_time(fire_time_),
+        apply_at_fire(std::move(apply_at_fire_)) {}
+
   std::string name;         ///< e.g. "diurnal.flash_crowd"
   std::string description;  ///< what the op changes, for --list and docs
   bool workload_shaping = true;
   std::function<void(expr::ExperimentConfig&)> apply;
+
+  /// When > 0 the op is *timed*: instead of reshaping the config before
+  /// t=0, Scenario::apply queues it on ExperimentConfig::timeline and the
+  /// runner fires it mid-run at the first provisioning-interval boundary
+  /// >= fire_time (seconds). resolve() sets this from the `@6h` / `@30m`
+  /// part suffix; `part@T` shifts every op of the part by T, so a part
+  /// registered with internal fire times keeps its relative schedule.
+  double fire_time = 0.0;
+  /// Baseline-aware variant of `apply` for timed ops that need pre-op
+  /// values (the `recovery` primitive restores budgets/diurnal from the
+  /// baseline snapshot). When null, a timed op fires its plain `apply`.
+  std::function<void(expr::ExperimentConfig& live,
+                     const expr::ExperimentConfig& baseline)>
+      apply_at_fire;
 };
+
+/// Parse a fire-time suffix ("6h", "30m", "90s") into seconds. The unit is
+/// mandatory and the value must be finite and >= 0. Throws
+/// util::PreconditionError with the full syntax on anything else
+/// ("", "-1h", "6parsecs", "2d").
+[[nodiscard]] double parse_fire_time(const std::string& text);
+
+/// Inverse of parse_fire_time for display: "21600" -> "6h", "1800" ->
+/// "30m", "90" -> "90s" (largest unit that divides evenly).
+[[nodiscard]] std::string format_fire_time(double seconds);
 
 /// A named workload scenario: ordered ops applied on top of the
 /// paper-default ExperimentConfig. Scenarios primarily shape the
@@ -38,7 +80,9 @@ struct Scenario {
   std::string description;
   std::vector<ScenarioOp> ops;
 
-  /// Apply every op, in order.
+  /// Apply every op, in order. Untimed ops (fire_time <= 0) mutate the
+  /// config immediately; timed ops are queued on config.timeline for the
+  /// runner to fire mid-run.
   void apply(expr::ExperimentConfig& config) const;
 };
 
@@ -49,7 +93,8 @@ class ScenarioCatalog {
  public:
   /// The built-in scenarios (baseline_diurnal, flash_crowd, weekend_surge,
   /// churn_heavy, long_tail_catalog, geo_skewed, regional_outage,
-  /// live_event_cliff, catalog_refresh, startup_stampede).
+  /// live_event_cliff, catalog_refresh, startup_stampede, recovery,
+  /// stampede_recovery).
   [[nodiscard]] static ScenarioCatalog with_builtins();
   /// Shared immutable instance of with_builtins().
   [[nodiscard]] static const ScenarioCatalog& global();
@@ -76,9 +121,16 @@ class ScenarioCatalog {
   /// Resolve a scenario expression: either a single registered name or a
   /// composite "a+b+..." whose ops are the parts' ops concatenated left to
   /// right (later ops overwrite what earlier ones set, so order matters
-  /// where parts touch the same field). Deterministic; throws
-  /// util::PreconditionError on an empty expression, an empty part
-  /// ("flash_crowd+", "+"), or an unknown part.
+  /// where parts touch the same field). Each part may carry an `@time`
+  /// fire-time suffix ("regional_outage@6h+recovery@18h"): the part's ops
+  /// are shifted to fire mid-run at that simulated time instead of
+  /// reshaping the config before t=0. Whitespace around parts and around
+  /// the `@` is trimmed. Deterministic; throws util::PreconditionError on
+  /// an empty expression, an empty part ("flash_crowd+", "+"), an unknown
+  /// part, a malformed fire time ("x@", "x@-1h", "x@6parsecs"), or an
+  /// exact duplicate part (same name at the same fire time — repeating a
+  /// part double-applies its multiplicative ops, so a repeat is only legal
+  /// with distinct fire times, e.g. "churn_heavy@2h+churn_heavy@4h").
   [[nodiscard]] Scenario resolve(const std::string& expression) const;
 
   /// ExperimentConfig::make_default(mode) with the resolved expression's

@@ -1,5 +1,6 @@
 #include "sweep/sweep_runner.h"
 
+#include <cmath>
 #include <future>
 #include <vector>
 
@@ -19,8 +20,20 @@ void SweepSpec::apply_flags(const expr::Flags& flags) {
         "--threads must be in [0, 1024] (0 = hardware)");
   }
   threads = static_cast<unsigned>(requested);
-  warmup_hours = flags.get("warmup", warmup_hours);
-  measure_hours = flags.get("hours", measure_hours);
+  // Negation-style guards (!(x >= 0)) also catch NaN, which would sail
+  // through `x < 0` and only explode later inside the runner.
+  const double warmup = flags.get("warmup", warmup_hours);
+  if (!(warmup >= 0.0) || !std::isfinite(warmup)) {
+    throw util::PreconditionError(
+        "--warmup must be a finite number of hours >= 0");
+  }
+  warmup_hours = warmup;
+  const double hours = flags.get("hours", measure_hours);
+  if (!(hours > 0.0) || !std::isfinite(hours)) {
+    throw util::PreconditionError(
+        "--hours must be a finite number of hours > 0");
+  }
+  measure_hours = hours;
   const long long stride = flags.get_ll(
       "series-stride", static_cast<long long>(series_stride));
   if (stride < 1) {

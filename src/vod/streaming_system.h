@@ -124,6 +124,9 @@ class StreamingSystem {
   [[nodiscard]] int position_count(int channel, int chunk) const;
   [[nodiscard]] ServicePool& pool(int channel, int chunk);
   [[nodiscard]] Tracker& tracker() noexcept { return tracker_; }
+  /// The provisioning controller (mutable: the experiment runner's timed
+  /// scenario ops renegotiate its budgets mid-run).
+  [[nodiscard]] core::Controller& controller() noexcept { return *controller_; }
   [[nodiscard]] cloud::EntryPoint& entry_point() noexcept { return entry_point_; }
   [[nodiscard]] const cloud::EntryPoint& entry_point() const noexcept {
     return entry_point_;

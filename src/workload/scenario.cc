@@ -31,13 +31,27 @@ void WorkloadConfig::validate() const {
   behavior.validate();
 }
 
-Workload::Workload(WorkloadConfig config, std::uint64_t seed)
+Workload::Workload(WorkloadConfig config, std::uint64_t seed,
+                   double envelope_headroom)
     : config_(config),
       root_(seed),
+      envelope_headroom_(envelope_headroom),
       weights_(zipf_weights(config.num_channels, config.zipf_exponent)),
       uplink_(make_uplink(config)),
       session_gen_(config.behavior, config.chunks_per_video) {
   config_.validate();
+  CM_EXPECTS(envelope_headroom >= 1.0);
+}
+
+void Workload::set_config(const WorkloadConfig& config) {
+  config.validate();
+  CM_EXPECTS(config.num_channels == config_.num_channels);
+  CM_EXPECTS(config.chunks_per_video == config_.chunks_per_video);
+  CM_EXPECTS(config.streaming_rate == config_.streaming_rate);
+  config_ = config;
+  weights_ = zipf_weights(config.num_channels, config.zipf_exponent);
+  uplink_ = make_uplink(config);
+  session_gen_ = SessionGenerator(config.behavior, config.chunks_per_video);
 }
 
 double Workload::channel_weight_at(int channel, double t) const {
@@ -77,7 +91,7 @@ PoissonArrivals Workload::make_arrivals(int channel) const {
   CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
   return PoissonArrivals(
       [this, channel](double t) { return channel_rate(channel, t); },
-      channel_max_rate(channel),
+      channel_max_rate(channel) * envelope_headroom_,
       root_.derive(kPurposeArrivals, static_cast<std::uint64_t>(channel)));
 }
 

@@ -50,7 +50,22 @@ struct WorkloadConfig {
 /// systems consuming the same Workload observe identical users.
 class Workload {
  public:
-  Workload(WorkloadConfig config, std::uint64_t seed);
+  /// `envelope_headroom` (>= 1) multiplies the thinning envelope handed to
+  /// make_arrivals(). The default 1.0 is bit-neutral (x * 1.0 == x). Pass
+  /// more when set_config() will raise arrival rates mid-run: the headroom
+  /// must cover the highest channel_max_rate any future config reaches,
+  /// relative to this construction-time config (the experiment runner
+  /// computes it by dry-running the timeline).
+  explicit Workload(WorkloadConfig config, std::uint64_t seed,
+                    double envelope_headroom = 1.0);
+
+  /// Replace the workload shape mid-run: arrival pattern, viewing
+  /// behaviour, catalog popularity knobs, peer uplinks. Streams derived so
+  /// far are untouched (the root RNG never changes); rate lambdas handed
+  /// out by make_arrivals() read the new config live. Structural fields
+  /// (num_channels, chunks_per_video, streaming_rate) are frozen — the
+  /// running system sized its pools and VM menus from them at t=0.
+  void set_config(const WorkloadConfig& config);
 
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
   [[nodiscard]] int num_channels() const noexcept { return config_.num_channels; }
@@ -86,6 +101,7 @@ class Workload {
  private:
   WorkloadConfig config_;
   util::Rng root_;
+  double envelope_headroom_;
   std::vector<double> weights_;
   BoundedPareto uplink_;
   SessionGenerator session_gen_;

@@ -59,11 +59,11 @@ TEST(Goldens, PresetsAreRegisteredAndDistinct) {
 }
 
 // Every figure and ablation of the paper's evaluation is a named preset —
-// plus the two scenario-algebra presets (a composed expression and the
-// richest new primitive): `tool_sweep --golden=<name>` must be able to
-// reproduce any of them, and a rename is a deliberate interface change,
-// not drift. (fig06 has no standalone entry in this list — it shipped
-// first as fig06_modes.)
+// plus the scenario-algebra presets (a composed expression, the richest
+// catalog primitive, and the timed-op transient): `tool_sweep
+// --golden=<name>` must be able to reproduce any of them, and a rename is
+// a deliberate interface change, not drift. (fig06 has no standalone
+// entry in this list — it shipped first as fig06_modes.)
 TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
   const char* const kExpected[] = {
       "sweep_demo",          "fig06_modes",
@@ -75,6 +75,7 @@ TEST(Goldens, EveryPaperFigureAndAblationHasAPreset) {
       "ablation_geo",        "ablation_hetero",
       "ablation_p2p_cap",    "ablation_prediction",
       "stress_flash_churn",  "regional_outage",
+      "outage_transient",
   };
   EXPECT_GE(golden_presets().size(), 15u);
   EXPECT_EQ(golden_presets().size(), std::size(kExpected));

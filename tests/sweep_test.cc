@@ -285,13 +285,13 @@ TEST(SweepRunner, SeedIsStableAcrossProcesses) {
 
 // -------------------------------------------------------- ScenarioCatalog
 
-TEST(ScenarioCatalog, RegistersTheTenBuiltins) {
+TEST(ScenarioCatalog, RegistersTheTwelveBuiltins) {
   const std::vector<std::string> names = ScenarioCatalog::global().names();
   const std::set<std::string> expected = {
       "baseline_diurnal", "flash_crowd",       "weekend_surge",
       "churn_heavy",      "long_tail_catalog", "geo_skewed",
       "regional_outage",  "live_event_cliff",  "catalog_refresh",
-      "startup_stampede"};
+      "startup_stampede", "recovery",          "stampede_recovery"};
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }
 
@@ -728,7 +728,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "fig09_vm_utility", "fig10_vm_cost",
                       "fig11_peer_sufficiency", "ablation_boot_delay",
                       "ablation_chunk_size", "ablation_geo", "ablation_hetero",
-                      "ablation_p2p_cap", "ablation_prediction"),
+                      "ablation_p2p_cap", "ablation_prediction",
+                      "outage_transient"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });

@@ -6,8 +6,11 @@
 //
 // Scenarios compose with '+': `--scenario flash_crowd+churn_heavy` applies
 // flash_crowd's ops, then churn_heavy's, left to right (order matters where
-// parts touch the same config field). The composite expression is recorded
-// verbatim in the CSV/JSON scenario column.
+// parts touch the same config field). A part may carry an `@time` fire-time
+// suffix (`regional_outage@6h+recovery@18h`): its ops then fire mid-run at
+// the first provisioning-interval boundary >= that simulated time instead
+// of reshaping the config before t=0. The composite expression is recorded
+// in canonical form in the CSV/JSON scenario column.
 //
 // Output is byte-identical for any --threads value: every run owns its own
 // Simulator + StreamingSystem, and its seed depends only on the base seed
@@ -58,16 +61,20 @@ using namespace cloudmedia;
 namespace {
 
 void print_listing() {
-  std::printf("scenarios (compose with '+', ops apply left to right —\n");
+  std::printf("scenarios (compose with '+', ops apply left to right,\n");
+  std::printf("           parts take an optional @fire-time —\n");
   std::printf("           e.g. --scenario flash_crowd+churn_heavy,\n");
-  std::printf("                --scenario regional_outage+long_tail_catalog):\n");
+  std::printf("                --scenario regional_outage@6h+recovery@18h):\n");
   const sweep::ScenarioCatalog& catalog = sweep::ScenarioCatalog::global();
   for (const std::string& name : catalog.names()) {
     const sweep::Scenario& scenario = catalog.at(name);
     std::printf("  %-18s %s\n", name.c_str(), scenario.description.c_str());
     for (const sweep::ScenarioOp& op : scenario.ops) {
-      std::printf("    - %-28s [%s] %s\n", op.name.c_str(),
-                  op.workload_shaping ? "workload" : "system",
+      std::string tag = op.workload_shaping ? "workload" : "system";
+      if (op.fire_time > 0.0) {
+        tag += " @" + sweep::format_fire_time(op.fire_time);
+      }
+      std::printf("    - %-28s [%s] %s\n", op.name.c_str(), tag.c_str(),
                   op.description.c_str());
     }
     if (scenario.ops.empty()) {
