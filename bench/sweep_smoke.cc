@@ -18,10 +18,6 @@
 #include <cstdio>
 #include <string>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "expr/flags.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
@@ -29,25 +25,11 @@
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/json.h"
+#include "util/rss.h"
 
 using namespace cloudmedia;
 
 namespace {
-
-double peak_rss_mb() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-    // ru_maxrss is KiB on Linux, bytes on macOS.
-#if defined(__APPLE__)
-    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
-#else
-    return static_cast<double>(usage.ru_maxrss) / 1024.0;
-#endif
-  }
-#endif
-  return 0.0;
-}
 
 std::size_t retained_samples(const sweep::SweepResult& result) {
   std::size_t n = 0;
@@ -102,7 +84,7 @@ int main(int argc, char** argv) {
   retain.series_stride = 8;
   const std::size_t strided_samples =
       retained_samples(sweep::SweepRunner::run(retain));
-  const double rss_mb = peak_rss_mb();
+  const double rss_mb = util::peak_rss_mb();
   std::printf(
       "  retention: %zu samples at stride 1 -> %zu at stride 8 "
       "(peak rss %.1f MB)\n",

@@ -59,6 +59,27 @@ if(CLOUDMEDIA_BUILD_TOOLS)
   if(TEST smoke.golden_diff)
     set_tests_properties(smoke.golden_diff PROPERTIES DEPENDS smoke.sweep_demo)
   endif()
+  # Distributed path, end to end: the same demo grid as two --shard halves,
+  # stitched with --merge, then diffed against the committed golden — the
+  # shard/merge round-trip must reproduce the single-process bytes.
+  add_smoke_test(sweep_shard0 tool_sweep --golden=sweep_demo --shard=0/2
+    --threads=2 --out=${CMAKE_BINARY_DIR}/artifacts/sweep_demo_shard0)
+  add_smoke_test(sweep_shard1 tool_sweep --golden=sweep_demo --shard=1/2
+    --threads=2 --out=${CMAKE_BINARY_DIR}/artifacts/sweep_demo_shard1)
+  add_smoke_test(sweep_merge tool_sweep --merge
+    ${CMAKE_BINARY_DIR}/artifacts/sweep_demo_merged
+    ${CMAKE_BINARY_DIR}/artifacts/sweep_demo_shard0.json
+    ${CMAKE_BINARY_DIR}/artifacts/sweep_demo_shard1.json)
+  add_smoke_test(shard_merge_diff tool_sweep --diff
+    ${CMAKE_BINARY_DIR}/artifacts/sweep_demo_merged.json
+    ${PROJECT_SOURCE_DIR}/goldens/sweep_demo.json
+    --out=${CMAKE_BINARY_DIR}/artifacts/shard_merge_diff.json)
+  if(TEST smoke.sweep_merge)
+    set_tests_properties(smoke.sweep_merge PROPERTIES
+      DEPENDS "smoke.sweep_shard0;smoke.sweep_shard1")
+    set_tests_properties(smoke.shard_merge_diff PROPERTIES
+      DEPENDS smoke.sweep_merge)
+  endif()
 endif()
 
 # The sweep engine's contract tests — thread-count determinism, the
@@ -102,4 +123,9 @@ if(CLOUDMEDIA_BUILD_BENCH)
   # Sweep-engine throughput tracker (3x3 grid, downsized horizon).
   add_smoke_test(sweep_bench bench_sweep_smoke --hours=0.25 --warmup=0.1
     --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_sweep.json)
+  # Streaming results-store gate at smoke scale (the full ~10k-cell grid
+  # runs in a dedicated CI step): flat streaming RSS + buffered separation.
+  add_smoke_test(store_bench bench_store_smoke --cells=3072
+    --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_store_smoke.json
+    --store-out=${CMAKE_BINARY_DIR}/artifacts/store_smoke)
 endif()

@@ -10,7 +10,8 @@
 #   --golden   the figures gate CI runs on every commit: every golden
 #              preset executed on 1 thread and on all cores, the two CSVs
 #              byte-compared, and the result diffed against the committed
-#              goldens/ snapshot where one exists.
+#              goldens/ snapshot where one exists; plus the distributed
+#              path — sweep_demo as two --shard halves, --merge, cmp.
 #
 # The selected tier's exit code is the script's exit code.
 set -euo pipefail
@@ -72,6 +73,22 @@ case "$MODE" in
         fi
       else
         echo "   (no committed snapshot — thread check only)"
+      fi
+    done
+    # Distributed path: the demo preset as two --shard halves, stitched
+    # with --merge, must be byte-identical to the committed golden.
+    echo "== sweep_demo (2 shards + merge) =="
+    "$TOOL" --golden=sweep_demo --shard=0/2 --threads=2 \
+      --out="$OUT/sweep_demo_shard0" >/dev/null
+    "$TOOL" --golden=sweep_demo --shard=1/2 --threads=2 \
+      --out="$OUT/sweep_demo_shard1" >/dev/null
+    "$TOOL" --merge "$OUT/sweep_demo_merged" \
+      "$OUT/sweep_demo_shard0.json" "$OUT/sweep_demo_shard1.json" >/dev/null
+    for ext in csv json; do
+      if ! cmp "$OUT/sweep_demo_merged.$ext" "goldens/sweep_demo.$ext"; then
+        echo "verify.sh: sharded sweep_demo merge is not byte-identical" \
+             "to goldens/sweep_demo.$ext" >&2
+        rc=1
       fi
     done
     ;;

@@ -84,14 +84,23 @@ Simulator::PeriodicHandle Simulator::schedule_periodic(
   CM_EXPECTS(fn != nullptr);
   auto active = std::make_shared<bool>(true);
   // Self-rescheduling closure; the shared flag decouples cancellation from
-  // the (changing) per-firing event id.
+  // the (changing) per-firing event id. The closure must hold itself only
+  // weakly — a strong self-capture is a shared_ptr cycle that outlives the
+  // simulator and leaks every periodic task ever scheduled. Ownership lives
+  // in the pending event's callback: while a firing is queued (or running)
+  // the lock() below succeeds, and when the last pending event is dropped
+  // the whole closure chain is freed.
   auto tick = std::make_shared<std::function<void(double)>>();
-  *tick = [this, active, interval, fn = std::move(fn), tick](double fire_time) {
+  std::weak_ptr<std::function<void(double)>> weak_tick = tick;
+  *tick = [this, active, interval, fn = std::move(fn),
+           weak_tick](double fire_time) {
     if (!*active) return;
     fn(fire_time);
     if (!*active) return;
     const double next = fire_time + interval;
-    schedule_at(next, [tick, next] { (*tick)(next); });
+    if (auto self = weak_tick.lock()) {
+      schedule_at(next, [self, next] { (*self)(next); });
+    }
   };
   schedule_at(start, [tick, start] { (*tick)(start); });
   return PeriodicHandle(std::move(active));

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/run_summary.h"
+#include "sweep/sweep_runner.h"
+
+namespace cloudmedia::store {
+
+/// Knobs for one ResultsStore. `base` is the output stem: the store
+/// streams `<base>.jsonl` (one row per line, plus a header line) and
+/// `<base>.stream.csv` (completion-order rows with a leading `cell`
+/// column) while the sweep runs.
+struct StoreOptions {
+  std::string base;
+  /// Rows the producer side may buffer before push() blocks — the
+  /// backpressure bound that keeps a sweep's resident row count flat no
+  /// matter how large the grid is.
+  std::size_t buffer_capacity = 256;
+  /// Rows the writer drains per wake-up (amortizes lock traffic).
+  std::size_t batch_rows = 64;
+};
+
+/// Asynchronous producer/consumer results writer — the streaming
+/// alternative to buffering a whole SweepResult in RAM. Worker threads
+/// push completed RunSummary rows into a bounded, lock-guarded buffer; a
+/// dedicated writer thread drains batches to disk (CSV + JSONL) as the
+/// sweep runs. Rows land on disk in completion order, each tagged with
+/// its global grid cell, so finalize() can reassemble the deterministic
+/// grid-order output afterwards without the sweep ever holding more than
+/// `buffer_capacity` rows resident.
+///
+///   store::ResultsStore store({.base = "results/big"}, spec);
+///   sweep::SweepSpec streaming = spec;
+///   streaming.sink = store.sink();
+///   (void)sweep::SweepRunner::run(streaming);   // runs come back empty
+///   sweep::SweepResult result = store.finalize();  // grid order, exact
+///
+/// finalize()'s result serializes byte-identically to a buffered
+/// SweepRunner::run of the same spec — the property the golden gate and
+/// the shard --merge path stand on.
+class ResultsStore {
+ public:
+  /// Opens the output files (creating missing parent directories — throws
+  /// std::runtime_error naming the path when it cannot), writes the JSONL
+  /// and CSV headers, and starts the writer thread. The spec provides the
+  /// header metadata (scenario, seed, grid, shard, spec hash) and the
+  /// expected cell set.
+  ResultsStore(StoreOptions options, const sweep::SweepSpec& spec);
+  ~ResultsStore();
+
+  ResultsStore(const ResultsStore&) = delete;
+  ResultsStore& operator=(const ResultsStore&) = delete;
+
+  /// Hand one completed row to the writer. Thread-safe; blocks while the
+  /// buffer is full. Rethrows the writer's error if the writer thread has
+  /// failed (e.g. disk full), so the sweep aborts instead of silently
+  /// dropping rows.
+  void push(std::size_t cell, sweep::RunSummary row);
+
+  /// Adapter for SweepSpec::sink.
+  [[nodiscard]] std::function<void(std::size_t, sweep::RunSummary)> sink();
+
+  /// Drain the buffer, stop and join the writer, flush and close the
+  /// files. Idempotent. Rethrows any writer-side I/O error.
+  void finish();
+
+  /// After finish(): read `<base>.jsonl` back, verify every expected cell
+  /// arrived exactly once, and reassemble the rows in global grid order.
+  /// Only scalar rows are ever resident — series never existed here.
+  [[nodiscard]] sweep::SweepResult finalize();
+
+  [[nodiscard]] const std::string& jsonl_path() const noexcept {
+    return jsonl_path_;
+  }
+  [[nodiscard]] const std::string& stream_csv_path() const noexcept {
+    return csv_path_;
+  }
+  /// Rows the writer has committed to disk so far.
+  [[nodiscard]] std::size_t rows_written() const;
+  /// High-water mark of rows buffered at once (<= buffer_capacity).
+  [[nodiscard]] std::size_t peak_buffered() const;
+
+ private:
+  struct Row {
+    std::size_t cell = 0;
+    sweep::RunSummary summary;
+  };
+
+  void writer_loop();
+  void fail_locked(std::exception_ptr error);
+
+  StoreOptions options_;
+  sweep::SweepResult header_;  ///< runs empty; metadata + csv_row helper
+  std::vector<std::size_t> expected_cells_;
+  std::string jsonl_path_;
+  std::string csv_path_;
+  std::ofstream jsonl_;
+  std::ofstream csv_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable rows_available_;
+  std::condition_variable space_available_;
+  std::deque<Row> queue_;
+  std::exception_ptr error_;
+  bool failed_ = false;
+  bool done_ = false;
+  bool finished_ = false;
+  std::size_t rows_written_ = 0;
+  std::size_t peak_buffered_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace cloudmedia::store

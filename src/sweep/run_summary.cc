@@ -1,5 +1,7 @@
 #include "sweep/run_summary.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -93,11 +95,66 @@ std::string SweepResult::to_csv() const {
   return out;
 }
 
+util::JsonValue RunSummary::to_json() const {
+  util::JsonValue entry = util::JsonValue::object();
+  util::JsonValue params = util::JsonValue::object();
+  for (const auto& [name, value] : point.coords) params[name] = value;
+  entry["params"] = std::move(params);
+  entry["seed"] = std::to_string(seed);
+  entry["mean_quality"] = mean_quality;
+  entry["p95_quality"] = p95_quality;
+  entry["p05_quality"] = p05_quality;
+  entry["mean_reserved_mbps"] = mean_reserved_mbps;
+  entry["mean_used_cloud_mbps"] = mean_used_cloud_mbps;
+  entry["mean_used_peer_mbps"] = mean_used_peer_mbps;
+  entry["cost_per_hour"] = cost_per_hour;
+  entry["covered_fraction"] = covered_fraction;
+  entry["peak_users"] = peak_users;
+  entry["mean_users"] = mean_users;
+  entry["arrivals"] = static_cast<double>(arrivals);
+  entry["sim_events"] = static_cast<double>(sim_events);
+  return entry;
+}
+
+RunSummary RunSummary::from_json(const util::JsonValue& entry,
+                                 std::string scenario) {
+  RunSummary s;
+  s.scenario = std::move(scenario);
+  for (const auto& [name, value] : entry.at("params").members()) {
+    s.point.coords.emplace_back(name, value.as_string());
+  }
+  s.seed = std::stoull(entry.at("seed").as_string());
+  s.mean_quality = entry.at("mean_quality").as_number();
+  s.p95_quality = entry.at("p95_quality").as_number();
+  s.p05_quality = entry.at("p05_quality").as_number();
+  s.mean_reserved_mbps = entry.at("mean_reserved_mbps").as_number();
+  s.mean_used_cloud_mbps = entry.at("mean_used_cloud_mbps").as_number();
+  s.mean_used_peer_mbps = entry.at("mean_used_peer_mbps").as_number();
+  s.cost_per_hour = entry.at("cost_per_hour").as_number();
+  s.covered_fraction = entry.at("covered_fraction").as_number();
+  s.peak_users = entry.at("peak_users").as_number();
+  s.mean_users = entry.at("mean_users").as_number();
+  s.arrivals = static_cast<long>(entry.at("arrivals").as_number());
+  s.sim_events = static_cast<std::uint64_t>(entry.at("sim_events").as_number());
+  return s;
+}
+
 util::JsonValue SweepResult::to_json() const {
   util::JsonValue root = util::JsonValue::object();
   root["scenario"] = scenario;
   // Decimal string: 64-bit seeds do not survive a double round-trip.
   root["base_seed"] = std::to_string(base_seed);
+  if (shard_count > 1) {
+    // Only shard outputs carry the header — unsharded documents (and the
+    // committed goldens/) keep the pre-shard byte layout.
+    util::JsonValue shard = util::JsonValue::object();
+    shard["index"] = static_cast<double>(shard_index);
+    shard["count"] = static_cast<double>(shard_count);
+    shard["cells"] = static_cast<double>(runs.size());
+    shard["total_cells"] = static_cast<double>(total_cells);
+    shard["spec_hash"] = spec_hash;
+    root["shard"] = std::move(shard);
+  }
   util::JsonValue grid = util::JsonValue::array();
   for (const ParamAxis& axis : axes) {
     util::JsonValue entry = util::JsonValue::object();
@@ -109,34 +166,62 @@ util::JsonValue SweepResult::to_json() const {
   }
   root["grid"] = std::move(grid);
   util::JsonValue run_array = util::JsonValue::array();
-  for (const RunSummary& run : runs) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
     util::JsonValue entry = util::JsonValue::object();
-    util::JsonValue params = util::JsonValue::object();
-    for (const auto& [name, value] : run.point.coords) params[name] = value;
-    entry["params"] = std::move(params);
-    entry["seed"] = std::to_string(run.seed);
-    entry["mean_quality"] = run.mean_quality;
-    entry["p95_quality"] = run.p95_quality;
-    entry["p05_quality"] = run.p05_quality;
-    entry["mean_reserved_mbps"] = run.mean_reserved_mbps;
-    entry["mean_used_cloud_mbps"] = run.mean_used_cloud_mbps;
-    entry["mean_used_peer_mbps"] = run.mean_used_peer_mbps;
-    entry["cost_per_hour"] = run.cost_per_hour;
-    entry["covered_fraction"] = run.covered_fraction;
-    entry["peak_users"] = run.peak_users;
-    entry["mean_users"] = run.mean_users;
-    entry["arrivals"] = static_cast<double>(run.arrivals);
-    entry["sim_events"] = static_cast<double>(run.sim_events);
+    if (shard_count > 1) {
+      CM_EXPECTS(cell_indices.size() == runs.size());
+      entry["cell"] = static_cast<double>(cell_indices[i]);
+    }
+    const util::JsonValue row = runs[i].to_json();
+    for (const auto& [key, value] : row.members()) entry[key] = value;
     run_array.push_back(std::move(entry));
   }
   root["runs"] = std::move(run_array);
   return root;
 }
 
+SweepResult SweepResult::from_json(const util::JsonValue& doc) {
+  SweepResult r;
+  r.scenario = doc.at("scenario").as_string();
+  r.base_seed = std::stoull(doc.at("base_seed").as_string());
+  for (const util::JsonValue& entry : doc.at("grid").items()) {
+    ParamAxis axis;
+    axis.name = entry.at("name").as_string();
+    for (const util::JsonValue& value : entry.at("values").items()) {
+      axis.values.push_back(value.as_string());
+    }
+    r.axes.push_back(std::move(axis));
+  }
+  if (const util::JsonValue* shard = doc.find("shard")) {
+    r.shard_index = static_cast<std::size_t>(shard->at("index").as_number());
+    r.shard_count = static_cast<std::size_t>(shard->at("count").as_number());
+    r.total_cells =
+        static_cast<std::size_t>(shard->at("total_cells").as_number());
+    r.spec_hash = shard->at("spec_hash").as_string();
+  }
+  for (const util::JsonValue& entry : doc.at("runs").items()) {
+    if (r.shard_count > 1) {
+      r.cell_indices.push_back(
+          static_cast<std::size_t>(entry.at("cell").as_number()));
+    }
+    r.runs.push_back(RunSummary::from_json(entry, r.scenario));
+  }
+  if (r.total_cells == 0) r.total_cells = r.runs.size();
+  return r;
+}
+
 void SweepResult::write_csv(const std::string& path) const {
+  util::ensure_parent_directory(path);
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("SweepResult: cannot open " + path);
+  if (!out) {
+    throw std::runtime_error("SweepResult: cannot open '" + path +
+                             "' for writing: " + std::strerror(errno));
+  }
   out << to_csv();
+  if (!out) {
+    throw std::runtime_error("SweepResult: write to '" + path +
+                             "' failed: " + std::strerror(errno));
+  }
 }
 
 void SweepResult::write_json(const std::string& path) const {
@@ -144,8 +229,6 @@ void SweepResult::write_json(const std::string& path) const {
 }
 
 void SweepResult::write(const std::string& base) const {
-  const std::size_t slash = base.find_last_of('/');
-  if (slash != std::string::npos) util::ensure_directory(base.substr(0, slash));
   write_csv(base + ".csv");
   write_json(base + ".json");
 }

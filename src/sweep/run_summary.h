@@ -36,6 +36,21 @@ struct RunSummary {
                                               GridPoint point,
                                               std::uint64_t seed,
                                               const expr::ExperimentResult& r);
+
+  /// The run as one JSON object — the entry schema of SweepResult::to_json
+  /// "runs" and of the streaming store's JSONL rows: params (in axis
+  /// order), seed (decimal string: 64 bits do not survive a double
+  /// round-trip), then every metric column. Counters ride as JSON numbers,
+  /// exact below 2^53 — far beyond any single run's event count.
+  [[nodiscard]] util::JsonValue to_json() const;
+
+  /// Inverse of to_json(): rebuild a row from an entry (unknown members —
+  /// e.g. a shard "cell" index — are ignored; the scenario comes from the
+  /// document header). from_json(to_json()) round-trips byte-identically
+  /// through format_number, which is what makes merged shard output
+  /// byte-match the single-process run.
+  [[nodiscard]] static RunSummary from_json(const util::JsonValue& entry,
+                                            std::string scenario);
 };
 
 /// A whole sweep: grid metadata plus one RunSummary per cell, in grid
@@ -48,6 +63,18 @@ struct SweepResult {
   std::vector<RunSummary> runs;
   std::vector<expr::ExperimentResult> results;  ///< empty unless kept
 
+  /// Shard provenance (SweepSpec::shard). An unsharded result keeps the
+  /// 0/1 defaults and empty cell_indices, and serializes byte-identically
+  /// to pre-shard builds — the committed goldens/ stay valid. A shard
+  /// result (shard_count > 1) carries a "shard" JSON header plus a per-run
+  /// global "cell" index, which is what `tool_sweep --merge` validates and
+  /// stitches on.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t total_cells = 0;  ///< full-grid cell count (all shards)
+  std::string spec_hash;        ///< SweepSpec::spec_hash() of the producer
+  std::vector<std::size_t> cell_indices;  ///< global cell per run (sharded)
+
   /// "scenario,<axis...>,seed,mean_quality,..." — axis columns in grid
   /// order.
   [[nodiscard]] std::vector<std::string> csv_header() const;
@@ -57,10 +84,17 @@ struct SweepResult {
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] util::JsonValue to_json() const;
 
-  /// Write to_csv() / to_json() to files (parent directories must exist).
+  /// Inverse of to_json() (shard header and per-run cell indices
+  /// included). Retained series are not serialized, so results stays
+  /// empty. Throws util::PreconditionError on a malformed document.
+  [[nodiscard]] static SweepResult from_json(const util::JsonValue& doc);
+
+  /// Write to_csv() / to_json() to files, creating missing parent
+  /// directories; throws std::runtime_error naming the path when the
+  /// target cannot be created or written.
   void write_csv(const std::string& path) const;
   void write_json(const std::string& path) const;
-  /// Write <base>.csv and <base>.json, creating parent directories.
+  /// Write <base>.csv and <base>.json.
   void write(const std::string& base) const;
 };
 

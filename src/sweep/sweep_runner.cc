@@ -1,14 +1,62 @@
 #include "sweep/sweep_runner.h"
 
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <future>
+#include <mutex>
 #include <vector>
 
 #include "sweep/thread_pool.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace cloudmedia::sweep {
+
+namespace {
+
+[[noreturn]] void fail_shard_syntax(const std::string& text) {
+  throw util::PreconditionError(
+      "shard must be k/N with integers 0 <= k < N — shard 0/2 and 1/2 "
+      "together cover the grid (given '" +
+      text + "')");
+}
+
+/// Parse a base-10 std::size_t spanning exactly [begin, end); no sign, no
+/// whitespace, no stray characters.
+bool parse_size(const std::string& text, std::size_t begin, std::size_t end,
+                std::size_t& out) {
+  if (begin >= end) return false;
+  std::size_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (!std::isdigit(c)) return false;
+    if (value > (static_cast<std::size_t>(-1) - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) fail_shard_syntax(text);
+  ShardSpec shard;
+  if (!parse_size(text, 0, slash, shard.index) ||
+      !parse_size(text, slash + 1, text.size(), shard.count)) {
+    fail_shard_syntax(text);
+  }
+  if (shard.count < 1 || shard.index >= shard.count) fail_shard_syntax(text);
+  return shard;
+}
+
+std::string ShardSpec::label() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
 
 void SweepSpec::apply_flags(const expr::Flags& flags) {
   base_seed = static_cast<std::uint64_t>(
@@ -40,6 +88,35 @@ void SweepSpec::apply_flags(const expr::Flags& flags) {
     throw util::PreconditionError("--series-stride must be >= 1");
   }
   series_stride = static_cast<std::size_t>(stride);
+  if (flags.has("shard")) {
+    shard = ShardSpec::parse(flags.get("shard", std::string()));
+  }
+}
+
+std::string SweepSpec::spec_hash() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  const auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    // Field separator outside the byte alphabet, so ("ab","c") and
+    // ("a","bc") hash differently.
+    h ^= 0x1ffu;
+    h *= 1099511628211ull;
+  };
+  mix(scenario);
+  mix(std::to_string(base_seed));
+  mix(util::format_number(warmup_hours));
+  mix(util::format_number(measure_hours));
+  for (const ParamAxis& axis : grid.axes()) {
+    mix(axis.name);
+    for (const std::string& value : axis.values) mix(value);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
 }
 
 std::uint64_t SweepRunner::run_seed(std::uint64_t base_seed,
@@ -47,17 +124,36 @@ std::uint64_t SweepRunner::run_seed(std::uint64_t base_seed,
   return util::mix64(util::mix64(base_seed) ^ ParamGrid::workload_hash(point));
 }
 
+std::vector<std::size_t> SweepRunner::shard_cells(std::size_t total,
+                                                  const ShardSpec& shard) {
+  CM_EXPECTS(shard.count >= 1 && shard.index < shard.count);
+  std::vector<std::size_t> cells;
+  for (std::size_t i = shard.index; i < total; i += shard.count) {
+    cells.push_back(i);
+  }
+  return cells;
+}
+
 SweepResult SweepRunner::run(const SweepSpec& spec,
                              const ScenarioCatalog& catalog) {
   CM_EXPECTS(spec.warmup_hours >= 0.0 && spec.measure_hours > 0.0);
   CM_EXPECTS(spec.series_stride >= 1);
-  const std::size_t n = spec.grid.num_points();
+  // Series cannot stream: a sink takes scalar rows only.
+  CM_EXPECTS(!(spec.keep_results && spec.sink));
+  const std::vector<std::size_t> cells =
+      shard_cells(spec.grid.num_points(), spec.shard);
+  const std::size_t n = cells.size();
 
   SweepResult result;
   result.scenario = spec.scenario;
   result.base_seed = spec.base_seed;
   result.axes = spec.grid.axes();
-  result.runs.resize(n);
+  result.shard_index = spec.shard.index;
+  result.shard_count = spec.shard.count;
+  result.total_cells = spec.grid.num_points();
+  result.spec_hash = spec.spec_hash();
+  if (!spec.shard.whole()) result.cell_indices = cells;
+  if (!spec.sink) result.runs.resize(n);
   if (spec.keep_results) result.results.resize(n);
 
   // Resolve the scenario expression once, up front: an unknown or
@@ -65,8 +161,9 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
   // run applies the same resolved op list.
   const Scenario scenario = catalog.resolve(spec.scenario);
 
-  auto run_one = [&](std::size_t index) {
-    const GridPoint point = spec.grid.point(index);
+  auto run_one = [&](std::size_t slot) {
+    const std::size_t cell = cells[slot];
+    const GridPoint point = spec.grid.point(cell);
     expr::ExperimentConfig config =
         expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
     scenario.apply(config);
@@ -76,15 +173,22 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
     for (const auto& [name, value] : point.coords) {
       apply_parameter(config, name, value);
     }
+    // Seeded from the *global* cell's workload coordinates, so every
+    // shard layout replays the byte-identical viewer populations.
     config.seed = run_seed(spec.base_seed, point);
     expr::ExperimentResult run_result = expr::ExperimentRunner::run(config);
-    result.runs[index] = RunSummary::from_result(spec.scenario, point,
+    RunSummary summary = RunSummary::from_result(spec.scenario, point,
                                                  config.seed, run_result);
+    if (spec.sink) {
+      spec.sink(cell, std::move(summary));
+      return;
+    }
+    result.runs[slot] = std::move(summary);
     if (spec.keep_results) {
       // Summaries above already captured the full-resolution window stats;
       // retained series only need the shape.
       run_result.metrics.downsample(spec.series_stride);
-      result.results[index] = std::move(run_result);
+      result.results[slot] = std::move(run_result);
     }
   };
 
@@ -95,22 +199,41 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
     return result;
   }
 
+  // One looping worker per thread, cells claimed off an atomic counter —
+  // NOT one queued task per cell. A million-cell grid would otherwise hold
+  // a million packaged tasks + futures resident before the first run
+  // finishes; this keeps the runner's footprint O(threads), which is what
+  // lets a streaming-sink sweep stay flat no matter the grid size.
+  std::atomic<std::size_t> next_slot{0};
+  std::mutex error_mutex;
+  std::size_t first_error_slot = n;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= n) return;
+      try {
+        run_one(slot);
+      } catch (...) {
+        // Keep running the remaining cells (matching the old drain-every-
+        // future behaviour) and report the failure that is first in grid
+        // order, deterministically, regardless of completion order.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (slot < first_error_slot) {
+          first_error_slot = slot;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
   ThreadPool pool(threads);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+  futures.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    futures.push_back(pool.submit(worker));
   }
-  // Drain every future before letting exceptions propagate so no worker is
-  // left writing into `result` after run() unwinds.
-  std::exception_ptr first_error;
-  for (std::future<void>& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
+  for (std::future<void>& future : futures) future.get();
   if (first_error) std::rethrow_exception(first_error);
   return result;
 }

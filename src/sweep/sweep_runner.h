@@ -11,6 +11,30 @@
 
 namespace cloudmedia::sweep {
 
+/// A deterministic `k/N` slice of the flattened grid: shard k owns every
+/// cell whose global index i satisfies `i % count == index` (strided, so
+/// neighbouring — similarly expensive — cells spread across shards). The
+/// N shards are disjoint and covering for every grid size, including
+/// N > cells (trailing shards are then empty but still valid). Because
+/// per-run seeds depend only on (base_seed, workload coordinates), a
+/// sharded run replays exactly the cells the unsharded run would, and
+/// `tool_sweep --merge` can stitch shard outputs back into a result
+/// byte-identical to the single-process run.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// True for the default 1-shard spec covering the whole grid.
+  [[nodiscard]] bool whole() const noexcept { return count == 1; }
+
+  /// Parse "k/N" with 0 <= k < N (e.g. "0/2", "3/4"). Throws
+  /// util::PreconditionError teaching the syntax on anything else.
+  [[nodiscard]] static ShardSpec parse(const std::string& text);
+
+  /// "k/N" — the canonical form parse() accepts.
+  [[nodiscard]] std::string label() const;
+};
+
 /// Everything that defines one sweep: the scenario expression, the grid,
 /// the seed, and the schedule. Results are bitwise-identical for any
 /// `threads` value because each run owns a private Simulator +
@@ -37,16 +61,36 @@ struct SweepSpec {
   /// series *before* downsampling, so CSV/JSON output is unaffected — this
   /// only bounds the memory a big-grid keep_results sweep holds resident.
   std::size_t series_stride = 1;
+  /// Which slice of the grid this process runs (default: all of it). The
+  /// slice is schedule-neutral: it changes which cells run here, never
+  /// what any cell computes, so shard outputs merge byte-identically.
+  ShardSpec shard;
   /// Extra config tweak applied after the scenario, before the grid point
   /// (benches use this for knobs that are not grid axes).
   std::function<void(expr::ExperimentConfig&)> customize;
+  /// Streaming sink: when set, every completed row is handed off (with its
+  /// global cell index) the moment its run finishes instead of
+  /// accumulating in SweepResult::runs, so a million-cell sweep never
+  /// holds all rows resident — see store::ResultsStore. Called
+  /// concurrently from worker threads; must be thread-safe. Mutually
+  /// exclusive with keep_results (series cannot stream).
+  std::function<void(std::size_t cell, RunSummary row)> sink;
 
   /// Read the shared schedule flags — --seed, --threads, --warmup,
-  /// --hours, --series-stride — with the spec's current values as
-  /// defaults. The one place the string-to-spec conversion (and its
+  /// --hours, --series-stride, --shard — with the spec's current values
+  /// as defaults. The one place the string-to-spec conversion (and its
   /// validation: --threads must be >= 0, 0 meaning "hardware";
-  /// --series-stride must be >= 1) lives for every sweep binary.
+  /// --series-stride must be >= 1; --shard must be k/N) lives for every
+  /// sweep binary.
   void apply_flags(const expr::Flags& flags);
+
+  /// Hash of what the sweep *computes*: scenario expression, base seed,
+  /// horizon, and the full grid (axis names + values, in order).
+  /// Schedule-neutral knobs (threads, shard, keep_results, series_stride)
+  /// are excluded, so every shard of one logical sweep shares the hash —
+  /// the header `tool_sweep --merge` uses to refuse mixing shards of
+  /// different sweeps. 16 lowercase hex digits (FNV-1a 64).
+  [[nodiscard]] std::string spec_hash() const;
 };
 
 /// Fans a ParamGrid out across a ThreadPool; one ExperimentRunner::run per
@@ -60,8 +104,15 @@ class SweepRunner {
   [[nodiscard]] static std::uint64_t run_seed(std::uint64_t base_seed,
                                               const GridPoint& point);
 
-  /// Execute the sweep. Throws (first failure wins, in grid order) if any
-  /// run throws.
+  /// The global cell indices shard `shard` owns out of `total` cells,
+  /// ascending. Disjoint and covering across k = 0..N-1. Throws when
+  /// shard.index >= shard.count.
+  [[nodiscard]] static std::vector<std::size_t> shard_cells(
+      std::size_t total, const ShardSpec& shard);
+
+  /// Execute the sweep (or the spec's shard of it). Throws (first failure
+  /// wins, in grid order) if any run throws. With spec.sink set,
+  /// SweepResult::runs comes back empty — rows went to the sink.
   [[nodiscard]] static SweepResult run(
       const SweepSpec& spec,
       const ScenarioCatalog& catalog = ScenarioCatalog::global());

@@ -47,4 +47,15 @@ bool ensure_directory(const std::string& path) {
   return !ec || std::filesystem::exists(path);
 }
 
+void ensure_parent_directory(const std::string& file_path) {
+  const std::size_t slash = file_path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return;
+  const std::string parent = file_path.substr(0, slash);
+  if (!ensure_directory(parent)) {
+    throw std::runtime_error("cannot create output directory '" + parent +
+                             "' for '" + file_path +
+                             "' (a path component may be an existing file)");
+  }
+}
+
 }  // namespace cloudmedia::util

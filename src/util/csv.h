@@ -32,4 +32,10 @@ class CsvWriter {
 /// it already existed.
 bool ensure_directory(const std::string& path);
 
+/// Create the parent directory of `file_path` (and its ancestors) if
+/// missing. A bare filename has no parent and is a no-op. Throws
+/// std::runtime_error naming the directory when it cannot be created —
+/// e.g. a path component is an existing regular file.
+void ensure_parent_directory(const std::string& file_path);
+
 }  // namespace cloudmedia::util

@@ -1,15 +1,18 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "util/check.h"
+#include "util/csv.h"
 
 namespace cloudmedia::util {
 
@@ -411,9 +414,17 @@ void JsonValue::dump_to(std::string& out, int indent, int depth) const {
 
 void write_json_file(const std::string& path, const JsonValue& value,
                      int indent) {
+  ensure_parent_directory(path);
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_json_file: cannot open " + path);
+  if (!out) {
+    throw std::runtime_error("write_json_file: cannot open '" + path +
+                             "' for writing: " + std::strerror(errno));
+  }
   out << value.dump(indent) << '\n';
+  if (!out) {
+    throw std::runtime_error("write_json_file: write to '" + path +
+                             "' failed: " + std::strerror(errno));
+  }
 }
 
 }  // namespace cloudmedia::util

@@ -1,0 +1,51 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cloudmedia::util {
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+double current_rss_mb() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      long kib = 0;
+      if (std::sscanf(line + 6, "%ld", &kib) == 1) {
+        mb = static_cast<double>(kib) / 1024.0;
+      }
+      break;
+    }
+  }
+  std::fclose(status);
+  return mb;
+#else
+  // No cheap instantaneous probe off Linux; the high-water mark is the
+  // best available answer.
+  return peak_rss_mb();
+#endif
+}
+
+}  // namespace cloudmedia::util

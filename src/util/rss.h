@@ -1,0 +1,16 @@
+#pragma once
+
+namespace cloudmedia::util {
+
+/// Process peak resident set size in MiB (getrusage high-water mark).
+/// Monotonic over the process lifetime — phase A's allocations are visible
+/// in every later phase's reading, so benches that compare phases must run
+/// the small phase first. Returns 0.0 where the platform has no probe.
+[[nodiscard]] double peak_rss_mb();
+
+/// Instantaneous resident set size in MiB (/proc/self/status VmRSS on
+/// Linux). Unlike peak_rss_mb() this can go down after memory is released
+/// back to the OS. Returns 0.0 where the platform has no probe.
+[[nodiscard]] double current_rss_mb();
+
+}  // namespace cloudmedia::util

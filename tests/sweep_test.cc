@@ -697,6 +697,131 @@ TEST(SweepRunner, UnknownScenarioFailsFast) {
   EXPECT_THROW((void)SweepRunner::run(spec), util::PreconditionError);
 }
 
+// ------------------------------------------------------------- sharding
+
+TEST(ShardSpec, ParsesKOverNAndRejectsJunk) {
+  const ShardSpec shard = ShardSpec::parse("2/5");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 5u);
+  EXPECT_EQ(shard.label(), "2/5");
+  EXPECT_FALSE(shard.whole());
+  EXPECT_TRUE(ShardSpec().whole());
+  EXPECT_EQ(ShardSpec::parse("0/1").count, 1u);
+  for (const std::string junk :
+       {"", "1", "a/b", "1/", "/2", "1//2", "-1/2", " 1/2", "1/2 ", "1.0/2",
+        "1/0", "2/2", "3/2", "99999999999999999999/2"}) {
+    EXPECT_THROW((void)ShardSpec::parse(junk), util::PreconditionError)
+        << "accepted '" << junk << "'";
+  }
+  // The syntax error teaches the k/N form.
+  try {
+    (void)ShardSpec::parse("5/2");
+    FAIL();
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("k/N"), std::string::npos);
+  }
+}
+
+TEST(ShardSpec, FlagRoundTripsThroughApplyFlags) {
+  const char* argv[] = {"prog", "--shard=1/3"};
+  SweepSpec spec;
+  spec.apply_flags(expr::Flags(2, argv));
+  EXPECT_EQ(spec.shard.index, 1u);
+  EXPECT_EQ(spec.shard.count, 3u);
+}
+
+TEST(SweepRunner, ShardCellsPartitionEveryGridExactlyOnce) {
+  // Disjoint, covering, ordered — for assorted totals and widths,
+  // including N > cells (some shards legitimately own nothing).
+  for (const std::size_t total : {0u, 1u, 4u, 10u, 17u, 100u}) {
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 7u, 23u}) {
+      std::set<std::size_t> seen;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::vector<std::size_t> cells =
+            SweepRunner::shard_cells(total, ShardSpec{k, n});
+        std::size_t prev = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          EXPECT_LT(cells[i], total);
+          EXPECT_EQ(cells[i] % n, k);  // strided ownership
+          if (i) {
+            EXPECT_GT(cells[i], prev);
+          }
+          prev = cells[i];
+          EXPECT_TRUE(seen.insert(cells[i]).second)
+              << "cell " << cells[i] << " owned twice (total " << total
+              << ", width " << n << ")";
+        }
+      }
+      EXPECT_EQ(seen.size(), total) << "width " << n;
+    }
+  }
+}
+
+TEST(SweepSpec, SpecHashPinsScheduleButNotExecutionKnobs) {
+  SweepSpec spec = small_grid_spec(1);
+  const std::string hash = spec.spec_hash();
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(spec.spec_hash(), hash);  // stable
+
+  // Execution knobs do not change what is computed, so they must not
+  // change the hash — shards launched with different --threads merge.
+  SweepSpec knobs = small_grid_spec(1);
+  knobs.threads = 8;
+  knobs.shard = ShardSpec{1, 4};
+  knobs.series_stride = 8;
+  EXPECT_EQ(knobs.spec_hash(), hash);
+
+  // Every schedule-shaping field does.
+  SweepSpec changed = small_grid_spec(1);
+  changed.scenario = "churn_heavy";
+  EXPECT_NE(changed.spec_hash(), hash);
+  changed = small_grid_spec(1);
+  changed.base_seed ^= 1;
+  EXPECT_NE(changed.spec_hash(), hash);
+  changed = small_grid_spec(1);
+  changed.measure_hours += 0.1;
+  EXPECT_NE(changed.spec_hash(), hash);
+  changed = small_grid_spec(1);
+  changed.warmup_hours += 0.1;
+  EXPECT_NE(changed.spec_hash(), hash);
+  changed = small_grid_spec(1);
+  changed.grid = ParamGrid();
+  changed.grid.add_axis("channels", {"3", "6"});
+  changed.grid.add_axis("mode", {"cs", "p2p"});
+  EXPECT_NE(changed.spec_hash(), hash);
+}
+
+TEST(SweepRunner, ShardedRunCarriesHeaderUnshardedStaysByteFrozen) {
+  // Unsharded output must not grow a shard header — the committed goldens
+  // pin that serialization.
+  const SweepResult whole = SweepRunner::run(small_grid_spec(1));
+  EXPECT_EQ(whole.to_json().dump().find("\"shard\""), std::string::npos);
+  EXPECT_EQ(whole.to_json().dump().find("\"cell\""), std::string::npos);
+
+  SweepSpec spec = small_grid_spec(1);
+  spec.shard = ShardSpec{1, 2};
+  const SweepResult shard = SweepRunner::run(spec);
+  EXPECT_EQ(shard.runs.size(), 2u);
+  EXPECT_EQ(shard.cell_indices, (std::vector<std::size_t>{1, 3}));
+  const std::string dump = shard.to_json().dump(-1);
+  EXPECT_NE(dump.find("\"shard\""), std::string::npos);
+  EXPECT_NE(dump.find("\"spec_hash\""), std::string::npos);
+  EXPECT_NE(dump.find("\"cell\":1"), std::string::npos);
+  // Shard rows are the same bytes as the matching unsharded rows: same
+  // global cells, same seeds, same metrics.
+  EXPECT_EQ(shard.to_json().at("runs").items()[0].dump(),
+            [&] {
+              util::JsonValue run = whole.to_json().at("runs").items()[1];
+              util::JsonValue tagged = util::JsonValue::object();
+              tagged["cell"] = 1.0;
+              for (const auto& [key, value] : run.members()) {
+                tagged[key] = value;
+              }
+              return tagged.dump();
+            }());
+}
+
 // ----------------------------------------- per-preset thread determinism
 //
 // One determinism check per figure/ablation preset: its grid — including

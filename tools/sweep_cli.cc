@@ -19,7 +19,10 @@
 // Flags: --scenario=baseline_diurnal (a name or a+b composite)
 //        --grid name=v1,v2 (repeatable)
 //        --threads=<hardware> --hours=6 --warmup=1 --seed=42
-//        --out=results/sweep (writes <out>.csv and <out>.json)
+//        --shard=k/N (run only this process's slice of the grid)
+//        --out=results/sweep (writes <out>.csv and <out>.json, plus the
+//                             streamed <out>.jsonl / <out>.stream.csv;
+//                             missing parent directories are created)
 //        --golden=<preset> (run a frozen golden preset; grid/scenario/seed/
 //                           horizon come from the preset, --threads still
 //                           applies — output must not depend on it)
@@ -39,6 +42,22 @@
 //
 // Exits 0 when identical within --tol, 1 when any cell differs (CI runs
 // this against the checked-in goldens/ snapshots).
+//
+// Distributed sweeps — split one grid across processes/machines and
+// stitch the outputs back together, byte-identically:
+//
+//   tool_sweep --golden=sweep_demo --shard=0/2 --out=a   # machine 1
+//   tool_sweep --golden=sweep_demo --shard=1/2 --out=b   # machine 2
+//   tool_sweep --merge merged a.json b.json              # anywhere
+//
+// --shard=k/N runs only the cells with global index ≡ k (mod N); the
+// output JSON carries a shard header (k/N, total cells, spec hash).
+// --merge validates that the inputs are the complete shard set of one
+// sweep (same scenario, seed, grid, spec hash; every k exactly once) and
+// writes <out>.csv/<out>.json byte-identical to the unsharded run. Every
+// sweep additionally streams rows through the results store as they
+// complete: <out>.jsonl + <out>.stream.csv appear in completion order
+// while the run is still going (and survive an interrupted sweep).
 
 #include <cstdio>
 #include <string>
@@ -46,6 +65,8 @@
 #include <vector>
 
 #include "expr/flags.h"
+#include "store/results_store.h"
+#include "store/shard_merge.h"
 #include "sweep/goldens.h"
 #include "sweep/param_grid.h"
 #include "sweep/scenario_catalog.h"
@@ -126,11 +147,44 @@ int run_diff(int argc, char** argv) {
   return diff.identical() ? 0 : 1;
 }
 
+int run_merge(int argc, char** argv) {
+  // Strip the --merge token so the output stem and the shard files parse
+  // as positionals.
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--merge") rest.push_back(argv[i]);
+  }
+  const expr::Flags flags(static_cast<int>(rest.size()), rest.data(),
+                          /*allow_positionals=*/true);
+  if (flags.positionals().size() < 3) {
+    std::fprintf(stderr,
+                 "usage: tool_sweep --merge <out> shard0.json shard1.json "
+                 "...\n       (one JSON per shard of a --shard=k/N split; "
+                 "writes <out>.csv and <out>.json)\n");
+    return 2;
+  }
+  std::string out = flags.positionals().front();
+  // Accept `--merge merged.json ...` too: strip the extension so the pair
+  // of outputs lands where the name says.
+  if (out.size() > 5 && out.substr(out.size() - 5) == ".json") {
+    out = out.substr(0, out.size() - 5);
+  }
+  const std::vector<std::string> inputs(flags.positionals().begin() + 1,
+                                        flags.positionals().end());
+  const sweep::SweepResult merged = store::merge_shard_files(inputs);
+  merged.write(out);
+  std::printf("merged %zu shards, %zu cells\n[csv]  %s.csv\n[json] %s.json\n",
+              inputs.size(), merged.runs.size(), out.c_str(), out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--diff") return run_diff(argc, argv);
+    if (std::string_view(argv[i]) == "--merge") return run_merge(argc, argv);
   }
 
   const expr::Flags flags(argc, argv);
@@ -154,15 +208,19 @@ int main(int argc, char** argv) {
     default_out = "results/" + preset.name;
     std::printf("golden %s: %s\n", preset.name.c_str(),
                 preset.description.c_str());
-    // Only the schedule-neutral knob is tunable: the preset's grid, seed,
-    // and horizon define the snapshot. Rejecting the rest beats silently
-    // running something other than what the flags claim.
+    // Only the schedule-neutral knobs are tunable: the preset's grid,
+    // seed, and horizon define the snapshot. Rejecting the rest beats
+    // silently running something other than what the flags claim.
+    // --shard is schedule-neutral by construction (it picks which cells
+    // run here, never what they compute), which is exactly what lets CI
+    // split a golden preset across shards and cmp the merge against the
+    // committed snapshot.
     for (const char* frozen : {"scenario", "grid", "seed", "hours", "warmup"}) {
       if (flags.has(frozen)) {
         throw util::PreconditionError(
             std::string("--") + frozen +
             " conflicts with --golden: the preset freezes it (only "
-            "--threads and --out apply)");
+            "--threads, --shard and --out apply)");
       }
     }
     const long long requested = flags.get_ll("threads", 0);
@@ -171,6 +229,9 @@ int main(int argc, char** argv) {
           "--threads must be in [0, 1024] (0 = hardware)");
     }
     spec.threads = static_cast<unsigned>(requested);
+    if (flags.has("shard")) {
+      spec.shard = sweep::ShardSpec::parse(flags.get("shard", std::string()));
+    }
   } else {
     spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
     spec.grid = sweep::ParamGrid::parse(flags.get_all("grid"));
@@ -180,17 +241,35 @@ int main(int argc, char** argv) {
     spec.apply_flags(flags);
   }
 
+  if (!spec.shard.whole()) {
+    default_out += "_shard" + std::to_string(spec.shard.index) + "of" +
+                   std::to_string(spec.shard.count);
+  }
   const std::string out = flags.get("out", default_out);
   const unsigned threads =
       spec.threads ? spec.threads : sweep::ThreadPool::default_threads();
 
+  const std::size_t owned_cells =
+      sweep::SweepRunner::shard_cells(spec.grid.num_points(), spec.shard)
+          .size();
   std::printf("sweep: scenario=%s grid=%zu runs threads=%u horizon=%.2f+%.2f h "
-              "seed=%llu\n",
+              "seed=%llu shard=%s (%zu cells here)\n",
               spec.scenario.c_str(), spec.grid.num_points(), threads,
               spec.warmup_hours, spec.measure_hours,
-              static_cast<unsigned long long>(spec.base_seed));
+              static_cast<unsigned long long>(spec.base_seed),
+              spec.shard.label().c_str(), owned_cells);
 
-  const sweep::SweepResult result = sweep::SweepRunner::run(spec);
+  // Stream rows through the results store as they complete: the sweep
+  // never holds the whole result resident, and <out>.jsonl survives an
+  // interrupted run. finalize() reassembles the deterministic grid-order
+  // result the CSV/JSON outputs (and the golden gate) expect.
+  store::StoreOptions store_options;
+  store_options.base = out;
+  store::ResultsStore results_store(store_options, spec);
+  sweep::SweepSpec streaming = spec;
+  streaming.sink = results_store.sink();
+  (void)sweep::SweepRunner::run(streaming);
+  const sweep::SweepResult result = results_store.finalize();
 
   std::printf("\n%-32s %12s %8s %9s %9s %9s %8s\n", "point", "seed", "quality",
               "reserved", "used", "peer", "$/h");
@@ -204,6 +283,7 @@ int main(int argc, char** argv) {
   }
 
   result.write(out);
-  std::printf("\n[csv]  %s.csv\n[json] %s.json\n", out.c_str(), out.c_str());
+  std::printf("\n[csv]    %s.csv\n[json]   %s.json\n[jsonl]  %s (streamed)\n",
+              out.c_str(), out.c_str(), results_store.jsonl_path().c_str());
   return 0;
 }
