@@ -128,4 +128,16 @@ if(CLOUDMEDIA_BUILD_BENCH)
   add_smoke_test(store_bench bench_store_smoke --cells=3072
     --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_store_smoke.json
     --store-out=${CMAKE_BINARY_DIR}/artifacts/store_smoke)
+  # Cohort-engine scale gate at smoke size (1M peak viewers; the full
+  # 10M-viewer day runs in a dedicated CI step).
+  add_smoke_test(cohort_bench bench_cohort_smoke --viewers=1000000 --hours=24
+    --out=${CMAKE_BINARY_DIR}/artifacts/BENCH_cohort_smoke.json)
+endif()
+
+# Cohort/discrete engine equivalence gates the smoke tier too: engine=auto
+# below the population threshold must replay the discrete engine bit for
+# bit, or every committed golden is at risk.
+if(TARGET cohort_test)
+  add_smoke_test(cohort_equivalence cohort_test
+    --gtest_filter=CohortEquivalence.*:EngineKnob.*)
 endif()

@@ -10,8 +10,9 @@
 #   --golden   the figures gate CI runs on every commit: every golden
 #              preset executed on 1 thread and on all cores, the two CSVs
 #              byte-compared, and the result diffed against the committed
-#              goldens/ snapshot where one exists; plus the distributed
-#              path — sweep_demo as two --shard halves, --merge, cmp.
+#              goldens/ snapshot where one exists; plus the cohort/discrete
+#              engine-equivalence tests and the distributed path —
+#              sweep_demo as two --shard halves, --merge, cmp.
 #
 # The selected tier's exit code is the script's exit code.
 set -euo pipefail
@@ -75,6 +76,12 @@ case "$MODE" in
         echo "   (no committed snapshot — thread check only)"
       fi
     done
+    # Engine equivalence: the golden snapshots are only trustworthy if
+    # engine=auto keeps routing small populations to the discrete core
+    # bit for bit (and the cohort core itself stays deterministic).
+    echo "== cohort/discrete equivalence =="
+    ctest --test-dir "$BUILD_DIR" -R '[Cc]ohort' --output-on-failure \
+      -j "$JOBS" || rc=1
     # Distributed path: the demo preset as two --shard halves, stitched
     # with --merge, must be byte-identical to the committed golden.
     echo "== sweep_demo (2 shards + merge) =="

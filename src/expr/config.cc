@@ -18,6 +18,23 @@ std::string to_string(Strategy strategy) {
   return "?";
 }
 
+std::string to_string(Engine engine) {
+  switch (engine) {
+    case Engine::kDiscrete: return "discrete";
+    case Engine::kCohort: return "cohort";
+    case Engine::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Engine engine_from_string(const std::string& text) {
+  if (text == "discrete") return Engine::kDiscrete;
+  if (text == "cohort") return Engine::kCohort;
+  if (text == "auto") return Engine::kAuto;
+  throw util::PreconditionError("unknown engine '" + text +
+                                "' (expected discrete | cohort | auto)");
+}
+
 ExperimentConfig ExperimentConfig::make_default(core::StreamingMode mode) {
   ExperimentConfig cfg;
   cfg.mode = mode;
@@ -52,6 +69,8 @@ void ExperimentConfig::validate() const {
   CM_EXPECTS(vm_boot_delay >= 0.0);
   CM_EXPECTS(warmup_hours >= 0.0 && measure_hours > 0.0);
   CM_EXPECTS(reactive_margin >= 1.0);
+  CM_EXPECTS(cohort_threshold > 0.0);
+  CM_EXPECTS(cohort_window > 0.0);
   for (const TimedConfigOp& op : timeline) {
     if (!(op.fire_time > 0.0) || !std::isfinite(op.fire_time)) {
       throw util::PreconditionError(

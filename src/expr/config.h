@@ -28,6 +28,24 @@ enum class Strategy {
 
 [[nodiscard]] std::string to_string(Strategy strategy);
 
+/// Which simulation core executes the run.
+///  - kDiscrete: every viewer is an individual Peer with its own heap
+///    events — exact, and the default (all committed goldens use it).
+///  - kCohort: statistically-identical viewers are batched into cohorts
+///    with fluid pool demand — approximate, built for 10M-viewer scale.
+///  - kAuto: pick per run — cohort when the estimated peak population
+///    reaches `cohort_threshold`, the exact discrete path (bit-identical
+///    to kDiscrete) below it.
+enum class Engine {
+  kDiscrete,
+  kCohort,
+  kAuto,
+};
+
+[[nodiscard]] std::string to_string(Engine engine);
+/// Parse "discrete" | "cohort" | "auto"; throws PreconditionError otherwise.
+[[nodiscard]] Engine engine_from_string(const std::string& text);
+
 struct ExperimentConfig;
 
 /// One scheduled mid-run config mutation — the runtime form of a scenario
@@ -77,6 +95,14 @@ struct ExperimentConfig {
   double warmup_hours = 4.0;                  ///< excluded from summaries
   double measure_hours = 100.0;               ///< the paper's Fig.-4/5 window
   std::uint64_t seed = 42;
+
+  /// Simulation core selection (structural: frozen at t=0, never on the
+  /// timeline). kDiscrete by default so every committed golden replays
+  /// byte-identically; kAuto routes to the cohort core only when
+  /// `estimated_peak_users(config) >= cohort_threshold`.
+  Engine engine = Engine::kDiscrete;
+  double cohort_threshold = 250'000.0;  ///< viewers; kAuto switch point
+  double cohort_window = 300.0;         ///< seconds per cohort arrival batch
 
   /// Scheduled mid-run mutations, filled by Scenario::apply from ops with
   /// an `@fire-time` suffix (e.g. "regional_outage@6h+recovery@18h"). The

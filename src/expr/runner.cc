@@ -9,6 +9,7 @@
 #include "predict/policy.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "vod/cohort_system.h"
 
 namespace cloudmedia::expr {
 
@@ -131,6 +132,11 @@ void enforce_mid_run_mutable(const ExperimentConfig& before,
   require_unchanged(
       after.workload.streaming_rate == before.workload.streaming_rate, op_name,
       "workload.streaming_rate");
+  require_unchanged(after.engine == before.engine, op_name, "engine");
+  require_unchanged(after.cohort_threshold == before.cohort_threshold, op_name,
+                    "cohort_threshold");
+  require_unchanged(after.cohort_window == before.cohort_window, op_name,
+                    "cohort_window");
 }
 
 /// Dry-run the timeline against a scratch config: rejects ops that touch
@@ -164,6 +170,21 @@ double timeline_envelope_headroom(const std::vector<TimedConfigOp>& timeline,
 }
 
 }  // namespace
+
+double estimated_peak_users(const ExperimentConfig& config) {
+  // Little's law at the diurnal peak: peak concurrent population ≈
+  // peak arrival rate × mean session duration. Channel peaks are summed
+  // as if they coincided — an upper-leaning estimate, which is the right
+  // bias for an engine switch (prefer the scalable core near the line).
+  const workload::Workload workload(config.workload, /*seed=*/0);
+  const double session_seconds =
+      workload.expected_session_chunks() * config.vod.chunk_duration;
+  double peak_rate = 0.0;
+  for (int c = 0; c < config.workload.num_channels; ++c) {
+    peak_rate += workload.channel_max_rate(c);
+  }
+  return peak_rate * session_seconds;
+}
 
 double ExperimentResult::mean_quality() const {
   return mean_over_window(metrics.quality, measure_start, measure_end);
@@ -235,11 +256,35 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
       live.storage_budget_per_hour};
   auto controller = std::make_unique<core::Controller>(
       live.vod, controller_config, make_policy(live, workload));
+  // The controller moves into whichever system is built; timeline ops still
+  // need to renegotiate its budgets mid-run.
+  core::Controller* controller_raw = controller.get();
 
   vod::StreamingOptions options = live.streaming;
   options.mode = live.mode;
-  vod::StreamingSystem system(simulator, workload, live.vod, cloud,
-                              std::move(controller), options);
+
+  // Engine selection (kDiscrete by default — the exact per-peer path every
+  // committed golden replays). kAuto estimates the peak population before
+  // anything draws randomness, so routing below the threshold leaves the
+  // discrete run bit-identical to engine=discrete.
+  const bool use_cohort =
+      live.engine == Engine::kCohort ||
+      (live.engine == Engine::kAuto &&
+       estimated_peak_users(live) >= live.cohort_threshold);
+
+  std::unique_ptr<vod::StreamingSystem> discrete_system;
+  std::unique_ptr<vod::CohortSystem> cohort_system;
+  if (use_cohort) {
+    vod::CohortOptions cohort_options;
+    cohort_options.streaming = options;
+    cohort_options.window = live.cohort_window;
+    cohort_system = std::make_unique<vod::CohortSystem>(
+        simulator, workload, live.vod, cloud, std::move(controller),
+        cohort_options);
+  } else {
+    discrete_system = std::make_unique<vod::StreamingSystem>(
+        simulator, workload, live.vod, cloud, std::move(controller), options);
+  }
 
   // Schedule the timeline BEFORE system.start(): the simulator fires
   // equal-timestamp events in scheduling order, so a mutation scheduled
@@ -254,21 +299,26 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
     boundary = std::max(boundary, interval);
     if (boundary > live.total_duration()) continue;
     simulator.schedule_at(
-        boundary, [&live, &baseline, &workload, &system, &cloud, &op] {
+        boundary, [&live, &baseline, &workload, controller_raw, &cloud, &op] {
           op.apply(live, baseline);
           workload.set_config(live.workload);
-          system.controller().set_budgets(live.vm_budget_per_hour,
-                                          live.storage_budget_per_hour);
+          controller_raw->set_budgets(live.vm_budget_per_hour,
+                                      live.storage_budget_per_hour);
           cloud.set_budgets(live.vm_budget_per_hour,
                             live.storage_budget_per_hour);
         });
   }
 
-  system.start();
+  if (cohort_system) {
+    cohort_system->start();
+  } else {
+    discrete_system->start();
+  }
   simulator.run_until(live.total_duration());
 
   ExperimentResult result;
-  result.metrics = system.metrics();
+  result.metrics =
+      cohort_system ? cohort_system->metrics() : discrete_system->metrics();
   result.measure_start = live.measure_start();
   result.measure_end = live.total_duration();
   result.vm_cost_total = cloud.billing().total("vm");

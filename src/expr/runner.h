@@ -33,6 +33,12 @@ struct ExperimentResult {
   [[nodiscard]] double reserved_covers_used_fraction() const;
 };
 
+/// Closed-form peak-population estimate: Σ_c channel_max_rate(c) ×
+/// expected session length. The `auto` engine compares this against
+/// ExperimentConfig::cohort_threshold to pick a simulation core before the
+/// run starts (no RNG draws — the discrete path stays bit-identical).
+[[nodiscard]] double estimated_peak_users(const ExperimentConfig& config);
+
 /// Build + run one experiment end to end. Deterministic in config.seed.
 class ExperimentRunner {
  public:

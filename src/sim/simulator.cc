@@ -42,6 +42,32 @@ EventId Simulator::schedule_in(double delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventId Simulator::schedule_bulk(std::vector<std::pair<double, Callback>> batch) {
+  if (batch.empty()) return kInvalidEvent;
+  const EventId first = next_id_;
+  heap_.reserve(heap_.size() + batch.size());
+  for (auto& [t, fn] : batch) {
+    CM_EXPECTS(t >= now_);
+    CM_EXPECTS(fn != nullptr);
+    const EventId id = next_id_++;
+    slots_.push_back(std::move(fn));
+    ++pending_;
+    heap_.push_back(Entry{t, id});
+  }
+  // Heapify beats per-entry sift-up once the batch rivals the pending set:
+  // make_heap is O(total), the loop O(batch · log total).
+  if (batch.size() >= heap_.size() / 4) {
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  } else {
+    for (std::size_t k = heap_.size() - batch.size(); k < heap_.size(); ++k) {
+      std::push_heap(heap_.begin(),
+                     heap_.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                     std::greater<>{});
+    }
+  }
+  return first;
+}
+
 bool Simulator::cancel(EventId id) noexcept {
   // The heap entry stays behind as a tombstone; pop_and_run skips entries
   // whose slot is already null.

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace cloudmedia::sim {
@@ -38,6 +39,14 @@ class Simulator {
   EventId schedule_at(double t, Callback fn);
   /// Schedule `fn` after `delay` seconds (delay >= 0).
   EventId schedule_in(double delay, Callback fn);
+
+  /// Schedule a whole batch in one call: ids are contiguous and assigned in
+  /// batch order, so equal-time events fire in batch order (the same FIFO
+  /// guarantee as a loop of schedule_at), but storage is reserved once and
+  /// the heap is rebuilt in O(pending + batch) when the batch is large
+  /// instead of O(batch · log pending). Returns the first id (the k-th
+  /// entry gets first + k), or kInvalidEvent for an empty batch.
+  EventId schedule_bulk(std::vector<std::pair<double, Callback>> batch);
 
   /// Cancel a pending event. Returns false if it already ran or was
   /// cancelled. Cancelling kInvalidEvent is a no-op returning false.

@@ -230,6 +230,23 @@ const ParameterEntry kRegistry[] = {
      [](expr::ExperimentConfig& cfg, const std::string& v) {
        cfg.reactive_margin = parse_double("reactive_margin", v);
      }},
+    // System-side: which simulation core runs the cell. Not a workload
+    // axis — engine=discrete and engine=auto cells below the cohort
+    // threshold replay the byte-identical viewer population.
+    {"engine", false,
+     [](expr::ExperimentConfig& cfg, const std::string& v) {
+       try {
+         cfg.engine = expr::engine_from_string(v);
+       } catch (const util::PreconditionError&) {
+         throw util::PreconditionError(
+             "sweep parameter engine: expected discrete|cohort|auto, got '" +
+             v + "'");
+       }
+     }},
+    {"cohort_threshold", false,
+     [](expr::ExperimentConfig& cfg, const std::string& v) {
+       cfg.cohort_threshold = parse_double("cohort_threshold", v);
+     }},
 };
 
 const ParameterEntry* find_parameter(const std::string& name) {

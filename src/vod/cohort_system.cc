@@ -1,0 +1,603 @@
+#include "vod/cohort_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/units.h"
+
+namespace cloudmedia::vod {
+
+namespace {
+/// Floor for a pool rate when estimating sojourns (a starved pool would
+/// otherwise divide by zero; the dwell clamp below bounds the result).
+constexpr double kRateFloor = 1e-9;
+/// A download can stretch its position dwell to at most this many chunk
+/// durations (mirrors how badly a starved discrete viewer can stall before
+/// provisioning reacts within one interval).
+constexpr double kMaxStallFactor = 4.0;
+}  // namespace
+
+CohortSystem::CohortSystem(sim::Simulator& simulator,
+                           const workload::Workload& workload,
+                           core::VodParameters params,
+                           cloud::CloudService& cloud,
+                           std::unique_ptr<core::Controller> controller,
+                           CohortOptions options)
+    : sim_(&simulator),
+      workload_(&workload),
+      params_(params),
+      cloud_(&cloud),
+      controller_(std::move(controller)),
+      options_(options),
+      num_channels_(workload.num_channels()),
+      num_chunks_(params.chunks_per_video),
+      tracker_(workload.num_channels(), params.chunks_per_video),
+      entry_point_(options.streaming.entry) {
+  params_.validate();
+  CM_EXPECTS(controller_ != nullptr);
+  CM_EXPECTS(workload.config().chunks_per_video == params.chunks_per_video);
+  CM_EXPECTS(options_.streaming.provisioning_interval > 0.0);
+  CM_EXPECTS(options_.streaming.rebalance_interval > 0.0);
+  CM_EXPECTS(options_.streaming.sample_interval > 0.0);
+  CM_EXPECTS(options_.window > 0.0);
+  CM_EXPECTS(options_.min_mass > 0.0);
+
+  const std::size_t total = static_cast<std::size_t>(num_channels_) *
+                            static_cast<std::size_t>(num_chunks_);
+  pools_.reserve(total);
+  for (std::size_t k = 0; k < total; ++k) {
+    // The cohort engine never enqueues discrete jobs, so the completion
+    // handler is unreachable; pools exist for capacity splitting, fluid
+    // processor sharing, and byte accounting.
+    pools_.push_back(std::make_unique<ServicePool>(
+        simulator, params_.vm_bandwidth,
+        [](const ServicePool::Completion&) {}));
+  }
+  served_cloud_snapshot_.assign(total, 0.0);
+  fluid_share_.assign(total, 0.0);
+  channel_mass_.assign(static_cast<std::size_t>(num_channels_), 0.0);
+  metrics_.channels.resize(static_cast<std::size_t>(num_channels_));
+  refresh_behavior_cache();
+
+  cloud_->vm_scheduler().set_capacity_listener([this] { rebalance_capacity(); });
+}
+
+std::size_t CohortSystem::pool_index(int channel, int chunk) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  CM_EXPECTS(chunk >= 0 && chunk < num_chunks_);
+  return static_cast<std::size_t>(channel) * static_cast<std::size_t>(num_chunks_) +
+         static_cast<std::size_t>(chunk);
+}
+
+std::size_t CohortSystem::cell(std::size_t slot, int chunk) const {
+  return slot * static_cast<std::size_t>(num_chunks_) +
+         static_cast<std::size_t>(chunk);
+}
+
+ServicePool& CohortSystem::pool(int channel, int chunk) {
+  return *pools_[pool_index(channel, chunk)];
+}
+
+std::size_t CohortSystem::current_users() const noexcept {
+  return static_cast<std::size_t>(std::llround(std::max(0.0, total_mass_)));
+}
+
+double CohortSystem::channel_viewer_mass(int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  return channel_mass_[static_cast<std::size_t>(channel)];
+}
+
+void CohortSystem::refresh_behavior_cache() {
+  const workload::ViewingBehavior& behavior = workload_->config().behavior;
+  transfer_ = behavior.transfer_matrix(num_chunks_);
+  entry_dist_ = behavior.entry_distribution(num_chunks_);
+  leave_row_.assign(static_cast<std::size_t>(num_chunks_), 0.0);
+  for (int j = 0; j < num_chunks_; ++j) {
+    double row = 0.0;
+    for (int k = 0; k < num_chunks_; ++k) {
+      row += transfer_(static_cast<std::size_t>(j), static_cast<std::size_t>(k));
+    }
+    leave_row_[static_cast<std::size_t>(j)] = std::max(0.0, 1.0 - row);
+  }
+}
+
+void CohortSystem::start() {
+  CM_EXPECTS(!started_);
+  started_ = true;
+
+  for (int c = 0; c < num_channels_; ++c) {
+    arrivals_.push_back(workload_->make_cohort_arrivals(c, options_.window));
+  }
+
+  const double t0 = sim_->now();
+  const vod::StreamingOptions& streaming = options_.streaming;
+  if (streaming.bootstrap_plan) {
+    sim_->schedule_at(t0, [this] {
+      const core::ProvisioningPlan plan = controller_->plan(bootstrap_report());
+      apply_plan(plan);
+      record_plan_series(sim_->now());
+    });
+  }
+  // Arrival windows: the tick at t covers [t, t + window).
+  sim_->schedule_periodic(t0, options_.window,
+                          [this](double t) { window_tick(t); });
+  sim_->schedule_periodic(t0 + streaming.provisioning_interval,
+                          streaming.provisioning_interval,
+                          [this](double t) { run_provisioning(t); });
+  sim_->schedule_periodic(t0 + streaming.rebalance_interval,
+                          streaming.rebalance_interval,
+                          [this](double) { rebalance_capacity(); });
+  sim_->schedule_periodic(t0 + streaming.sample_interval,
+                          streaming.sample_interval,
+                          [this](double t) { sample_bandwidth(t); });
+  sim_->schedule_periodic(t0 + streaming.quality_interval,
+                          streaming.quality_interval,
+                          [this](double t) { sample_quality(t); });
+}
+
+std::size_t CohortSystem::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const std::size_t slot = live_.size();
+  live_.push_back(0);
+  generation_.push_back(0);
+  channel_of_.push_back(0);
+  alive_.push_back(0.0);
+  uplink_rate_.push_back(0.0);
+  occ_.resize(occ_.size() + static_cast<std::size_t>(num_chunks_), 0.0);
+  owned_.resize(owned_.size() + static_cast<std::size_t>(num_chunks_), 0.0);
+  return slot;
+}
+
+void CohortSystem::window_tick(double now) {
+  refresh_behavior_cache();
+  const double uplink_mean = workload_->uplink_distribution().mean();
+
+  std::vector<std::pair<double, sim::Simulator::Callback>> batch;
+  for (int c = 0; c < num_channels_; ++c) {
+    const long long n = arrivals_[static_cast<std::size_t>(c)].sample_count(now);
+    if (n <= 0) continue;
+
+    const std::size_t slot = allocate_slot();
+    live_[slot] = 1;
+    ++live_cohorts_;
+    channel_of_[slot] = c;
+    const auto mass = static_cast<double>(n);
+    alive_[slot] = mass;
+    uplink_rate_[slot] = uplink_mean;
+    for (int j = 0; j < num_chunks_; ++j) {
+      const double m = mass * entry_dist_[static_cast<std::size_t>(j)];
+      occ_[cell(slot, j)] = m;
+      owned_[cell(slot, j)] = 0.0;
+      if (m > 0.0) tracker_.record_arrival(c, j, m);
+    }
+    arrivals_count_ += n;
+    channel_mass_[static_cast<std::size_t>(c)] += mass;
+    total_mass_ += mass;
+
+    // Batch admission: one referral round trip stands in for the cohort
+    // (the entry point is admission accounting, not bandwidth).
+    const cloud::CloudReferral referral = entry_point_.issue(now);
+    const cloud::TicketStatus verdict =
+        entry_point_.redeem(referral.ticket, now);
+    CM_ENSURES(verdict == cloud::TicketStatus::kValid);
+
+    // First transition after one nominal dwell; the transition itself
+    // re-estimates subsequent dwells from live pool rates. All first
+    // transitions of this window go to the heap as one bulk batch.
+    const std::uint32_t generation = generation_[slot];
+    batch.emplace_back(now + params_.chunk_duration,
+                       [this, slot, generation] { transition(slot, generation); });
+  }
+  if (!batch.empty()) sim_->schedule_bulk(std::move(batch));
+  sync_counters();
+}
+
+double CohortSystem::download_mass(std::size_t slot, int chunk) const {
+  const double alive = alive_[slot];
+  if (alive <= 0.0) return 0.0;
+  const double occ = occ_[cell(slot, chunk)];
+  const double own_prob = std::min(1.0, owned_[cell(slot, chunk)] / alive);
+  return occ * (1.0 - own_prob);
+}
+
+void CohortSystem::transition(std::size_t slot, std::uint32_t generation) {
+  if (slot >= live_.size() || !live_[slot] || generation_[slot] != generation) {
+    return;  // stale event from a recycled slot
+  }
+  const int c = channel_of_[slot];
+  const double alive = alive_[slot];
+  if (alive < options_.min_mass) {
+    retire(slot);
+    return;
+  }
+
+  const auto j_count = static_cast<std::size_t>(num_chunks_);
+  std::vector<double> dl(j_count, 0.0);
+  std::vector<double> next_occ(j_count, 0.0);
+  double dl_total = 0.0;
+  double replay_total = 0.0;
+  double dwell_weighted = 0.0;
+
+  // Phase 1 — the position each viewer just finished: split occupancy into
+  // fresh downloads vs buffered replays, estimate the dwell the download
+  // cost (the pool's current fluid rate decides whether it stalled), and
+  // absorb the downloaded chunks into ownership.
+  for (int j = 0; j < num_chunks_; ++j) {
+    const double occ = occ_[cell(slot, j)];
+    if (occ <= 0.0) continue;
+    const double d = download_mass(slot, j);
+    const double replay = occ - d;
+    dl[static_cast<std::size_t>(j)] = d;
+    dl_total += d;
+    replay_total += replay;
+    dwell_weighted += replay * params_.chunk_duration;
+    if (d > 0.0) {
+      const ServicePool& p = *pools_[pool_index(c, j)];
+      const double rate = std::max(p.per_job_rate(), kRateFloor);
+      const double sojourn = params_.chunk_bytes() / rate;
+      if (sojourn > params_.chunk_duration + 1e-9) late_mass_ += d;
+      const double dwell =
+          std::clamp(sojourn, params_.chunk_duration,
+                     kMaxStallFactor * params_.chunk_duration);
+      dwell_weighted += d * dwell;
+    }
+  }
+  downloads_mass_ += dl_total;
+  replays_mass_ += replay_total;
+
+  // Phase 2 — advance every viewer through the ground-truth transfer
+  // matrix at once, reporting the same (now weighted) flows the discrete
+  // engine's per-peer record_transition calls produce.
+  double stay_total = 0.0;
+  for (int j = 0; j < num_chunks_; ++j) {
+    const double occ = occ_[cell(slot, j)];
+    if (occ <= 0.0) continue;
+    for (int k = 0; k < num_chunks_; ++k) {
+      const double flow =
+          occ * transfer_(static_cast<std::size_t>(j), static_cast<std::size_t>(k));
+      if (flow <= 0.0) continue;
+      next_occ[static_cast<std::size_t>(k)] += flow;
+      stay_total += flow;
+      tracker_.record_transition(c, j, k, flow);
+    }
+    const double leave = occ * leave_row_[static_cast<std::size_t>(j)];
+    if (leave > 0.0) tracker_.record_transition(c, j, std::nullopt, leave);
+  }
+  const double departed = std::max(0.0, alive - stay_total);
+  departures_mass_ += departed;
+
+  // Ownership: downloads convert occupancy into owned chunks, then the
+  // whole vector scales by the survival ratio (leavers take their buffers
+  // with them; ownership within a cohort is independent of who leaves).
+  const double survival = std::min(1.0, stay_total / alive);
+  for (int j = 0; j < num_chunks_; ++j) {
+    const double mid = std::min(
+        alive, owned_[cell(slot, j)] + dl[static_cast<std::size_t>(j)]);
+    owned_[cell(slot, j)] = mid * survival;
+    occ_[cell(slot, j)] = next_occ[static_cast<std::size_t>(j)];
+  }
+  alive_[slot] = stay_total;
+  channel_mass_[static_cast<std::size_t>(c)] += stay_total - alive;
+  total_mass_ += stay_total - alive;
+  sync_counters();
+
+  if (stay_total < options_.min_mass) {
+    retire(slot);
+    return;
+  }
+  const double total_flow = dl_total + replay_total;
+  const double dwell = total_flow > 0.0 ? dwell_weighted / total_flow
+                                        : params_.chunk_duration;
+  const std::uint32_t gen = generation_[slot];
+  sim_->schedule_in(dwell, [this, slot, gen] { transition(slot, gen); });
+}
+
+void CohortSystem::retire(std::size_t slot) {
+  const int c = channel_of_[slot];
+  const double residual = std::max(0.0, alive_[slot]);
+  // Sub-min_mass residue departs without per-chunk flows — it is below the
+  // engine's resolution by construction.
+  departures_mass_ += residual;
+  channel_mass_[static_cast<std::size_t>(c)] -= residual;
+  total_mass_ -= residual;
+  alive_[slot] = 0.0;
+  for (int j = 0; j < num_chunks_; ++j) {
+    occ_[cell(slot, j)] = 0.0;
+    owned_[cell(slot, j)] = 0.0;
+  }
+  live_[slot] = 0;
+  ++generation_[slot];
+  --live_cohorts_;
+  free_slots_.push_back(slot);
+  sync_counters();
+}
+
+void CohortSystem::sync_counters() {
+  metrics_.counters.arrivals = static_cast<long>(arrivals_count_);
+  metrics_.counters.departures = std::lround(departures_mass_);
+  metrics_.counters.chunk_downloads = std::lround(downloads_mass_);
+  metrics_.counters.late_downloads = std::lround(late_mass_);
+  metrics_.counters.buffered_replays = std::lround(replays_mass_);
+}
+
+// --- provisioning loop ------------------------------------------------------
+
+core::TrackerReport CohortSystem::bootstrap_report() const {
+  // Same prior and window-labelling convention as
+  // StreamingSystem::bootstrap_report (see its declaration).
+  core::TrackerReport report;
+  report.interval_start = sim_->now();
+  report.interval_length = options_.streaming.provisioning_interval;
+  report.channels.resize(static_cast<std::size_t>(num_channels_));
+  const workload::ViewingBehavior& behavior = workload_->config().behavior;
+  const util::Matrix transfer = behavior.transfer_matrix(num_chunks_);
+  const std::vector<double> entry = behavior.entry_distribution(num_chunks_);
+  const double uplink_mean = workload_->uplink_distribution().mean();
+  for (int c = 0; c < num_channels_; ++c) {
+    core::ChannelObservation& obs = report.channels[static_cast<std::size_t>(c)];
+    obs.arrival_rate = workload_->channel_rate(c, sim_->now());
+    obs.transfer = transfer;
+    obs.entry = entry;
+    obs.occupancy.assign(static_cast<std::size_t>(num_chunks_), 0.0);
+    obs.served_cloud_bandwidth.assign(static_cast<std::size_t>(num_chunks_), 0.0);
+    obs.mean_peer_uplink = uplink_mean;
+  }
+  return report;
+}
+
+void CohortSystem::run_provisioning(double now) {
+  const double interval = options_.streaming.provisioning_interval;
+
+  std::vector<std::vector<double>> occupancy(
+      static_cast<std::size_t>(num_channels_),
+      std::vector<double>(static_cast<std::size_t>(num_chunks_), 0.0));
+  std::vector<double> mean_uplink(static_cast<std::size_t>(num_channels_), 0.0);
+  std::vector<std::vector<double>> served(
+      static_cast<std::size_t>(num_channels_),
+      std::vector<double>(static_cast<std::size_t>(num_chunks_), 0.0));
+  std::vector<double> uplink_weighted(static_cast<std::size_t>(num_channels_),
+                                      0.0);
+
+  for (std::size_t slot = 0; slot < live_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    const auto ch = static_cast<std::size_t>(channel_of_[slot]);
+    for (int j = 0; j < num_chunks_; ++j) {
+      occupancy[ch][static_cast<std::size_t>(j)] += occ_[cell(slot, j)];
+    }
+    uplink_weighted[ch] += alive_[slot] * uplink_rate_[slot];
+  }
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    for (int i = 0; i < num_chunks_; ++i) {
+      ServicePool& p = pool(c, i);
+      p.sync();
+      const std::size_t key = pool_index(c, i);
+      served[ch][static_cast<std::size_t>(i)] =
+          (p.cloud_bytes_served() - served_cloud_snapshot_[key]) / interval;
+      served_cloud_snapshot_[key] = p.cloud_bytes_served();
+    }
+    mean_uplink[ch] = channel_mass_[ch] > 0.0
+                          ? uplink_weighted[ch] / channel_mass_[ch]
+                          : workload_->uplink_distribution().mean();
+  }
+
+  const core::TrackerReport report =
+      tracker_.harvest(now - interval, interval, occupancy, mean_uplink, served);
+  const core::ProvisioningPlan plan = controller_->plan(report);
+  apply_plan(plan);
+  record_plan_series(now);
+}
+
+void CohortSystem::apply_plan(const core::ProvisioningPlan& plan) {
+  if (!cloud_->submit_plan(plan, num_channels_, num_chunks_)) {
+    ++metrics_.counters.rejected_plans;
+    CM_LOG(kWarn) << "cloud rejected provisioning plan at t=" << sim_->now();
+    return;
+  }
+  last_plan_ = std::make_shared<core::ProvisioningPlan>(plan);
+  const std::vector<int>& ports = entry_point_.config().ports;
+  const std::size_t vm_count = plan.instances.instances.size();
+  for (std::size_t k = 0; k < ports.size(); ++k) {
+    if (vm_count == 0) {
+      entry_point_.unmap_port(ports[k]);
+    } else {
+      entry_point_.map_port(ports[k], static_cast<int>(k % vm_count));
+    }
+  }
+}
+
+void CohortSystem::record_plan_series(double now) {
+  if (!last_plan_) return;
+  const core::ProvisioningPlan& plan = *last_plan_;
+  metrics_.vm_cost_rate.add(now, cloud_->vm_cost_rate());
+  metrics_.storage_cost_rate.add(now, cloud_->storage_cost_rate());
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    ChannelSeries& series = metrics_.channels[ch];
+    double provisioned = 0.0;
+    for (double b : plan.chunk_cloud_bandwidth[ch]) provisioned += b;
+    series.provisioned_mbps.add(now, util::to_mbps(provisioned));
+    series.storage_utility.add(
+        now, core::channel_storage_utility(plan.storage_problem, plan.storage, c));
+    series.vm_utility.add(now,
+                          core::channel_vm_utility(plan.vm_problem, plan.vm, c));
+  }
+}
+
+void CohortSystem::rebalance_capacity() {
+  // The fluid analogue of StreamingSystem::rebalance_capacity: demand per
+  // (channel, chunk) is the download-active mass scaled by a duty factor
+  // (the fraction of its dwell a downloading viewer actually occupies the
+  // pool: sojourn / dwell, 1 when the pool is at or below the streaming
+  // rate), fed to the pools as fluid job counts; the cloud share re-splits
+  // across chunks by fluid demand + standby weight, and in P2P mode the
+  // aggregate cohort uplink waterfalls rarest-first over ownership mass.
+  const double r = params_.streaming_rate;
+  const double t0 = params_.chunk_duration;
+  const auto j_count = static_cast<std::size_t>(num_chunks_);
+
+  std::vector<double> dl_mass(pools_.size(), 0.0);
+  std::vector<double> owned_mass(pools_.size(), 0.0);
+  std::vector<double> channel_uplink(static_cast<std::size_t>(num_channels_),
+                                     0.0);
+  for (std::size_t slot = 0; slot < live_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    const int c = channel_of_[slot];
+    for (int j = 0; j < num_chunks_; ++j) {
+      dl_mass[pool_index(c, j)] += download_mass(slot, j);
+      owned_mass[pool_index(c, j)] += owned_[cell(slot, j)];
+    }
+    channel_uplink[static_cast<std::size_t>(c)] +=
+        alive_[slot] * uplink_rate_[slot];
+  }
+
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+
+    // Fluid job counts: previous per-job rate estimates the duty factor
+    // (starved pools → duty 1, over-provisioned pools → sojourn/T0 < 1).
+    std::vector<double> fluid(j_count, 0.0);
+    for (int j = 0; j < num_chunks_; ++j) {
+      const std::size_t key = pool_index(c, j);
+      const double m = dl_mass[key];
+      if (m <= 0.0) {
+        fluid[static_cast<std::size_t>(j)] = 0.0;
+        continue;
+      }
+      const double prev_rate = std::max(pools_[key]->per_job_rate(), kRateFloor);
+      const double duty =
+          std::min(1.0, (params_.chunk_bytes() / prev_rate) / t0);
+      fluid[static_cast<std::size_t>(j)] = m * duty;
+    }
+
+    // Cloud share follows fluid demand (+ standby), as the discrete engine
+    // follows active jobs.
+    double channel_cloud = 0.0;
+    double weight_total = 0.0;
+    std::vector<double> weight(j_count, 0.0);
+    for (int j = 0; j < num_chunks_; ++j) {
+      channel_cloud += cloud_->chunk_capacity(c, j);
+      const double w = fluid[static_cast<std::size_t>(j)] +
+                       options_.streaming.standby_weight;
+      weight[static_cast<std::size_t>(j)] = w;
+      weight_total += w;
+    }
+    std::vector<double> cloud_alloc(j_count, 0.0);
+    if (channel_cloud > 0.0 && weight_total > 0.0) {
+      for (int j = 0; j < num_chunks_; ++j) {
+        cloud_alloc[static_cast<std::size_t>(j)] =
+            channel_cloud * weight[static_cast<std::size_t>(j)] / weight_total;
+      }
+    }
+
+    // Peer share: rarest-first waterfall over ownership mass. The channel's
+    // aggregate uplink supplies chunks ascending by owners; each chunk may
+    // draw at most the uplink fraction its owners hold.
+    std::vector<double> peer_alloc(j_count, 0.0);
+    if (options_.streaming.mode == core::StreamingMode::kP2p &&
+        channel_mass_[ch] > 0.0 && channel_uplink[ch] > 0.0) {
+      double total_owned = 0.0;
+      for (int j = 0; j < num_chunks_; ++j) {
+        total_owned += owned_mass[pool_index(c, j)];
+      }
+      if (total_owned > 0.0) {
+        std::vector<int> order(j_count);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+          return owned_mass[pool_index(c, a)] < owned_mass[pool_index(c, b)];
+        });
+        double remaining = channel_uplink[ch];
+        for (int chunk : order) {
+          const std::size_t key = pool_index(c, chunk);
+          if (owned_mass[key] <= 0.0) continue;
+          const double demand = fluid[static_cast<std::size_t>(chunk)] * r;
+          const double available =
+              channel_uplink[ch] * owned_mass[key] / total_owned;
+          const double give = std::min({demand, available, remaining});
+          if (give <= 0.0) continue;
+          peer_alloc[static_cast<std::size_t>(chunk)] = give;
+          remaining -= give;
+        }
+        // Residual uplink stands by over owned chunks, like the discrete
+        // engine's per-peer residual split.
+        if (remaining > 0.0) {
+          for (int j = 0; j < num_chunks_; ++j) {
+            peer_alloc[static_cast<std::size_t>(j)] +=
+                remaining * owned_mass[pool_index(c, j)] / total_owned;
+          }
+        }
+      }
+    }
+
+    for (int j = 0; j < num_chunks_; ++j) {
+      const std::size_t key = pool_index(c, j);
+      fluid_share_[key] = fluid[static_cast<std::size_t>(j)];
+      pools_[key]->set_capacity(peer_alloc[static_cast<std::size_t>(j)],
+                                cloud_alloc[static_cast<std::size_t>(j)]);
+      pools_[key]->set_fluid_jobs(fluid[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+// --- metrics ---------------------------------------------------------------
+
+void CohortSystem::sample_bandwidth(double now) {
+  double cloud_rate = 0.0;
+  double peer_rate = 0.0;
+  for (const auto& p : pools_) {
+    cloud_rate += p->cloud_rate();
+    peer_rate += p->peer_rate();
+  }
+  metrics_.reserved_mbps.add(now, util::to_mbps(cloud_->reserved_bandwidth()));
+  metrics_.used_cloud_mbps.add(now, util::to_mbps(cloud_rate));
+  metrics_.used_peer_mbps.add(now, util::to_mbps(peer_rate));
+  metrics_.concurrent_users.add(now, total_mass_);
+  peak_mass_ = std::max(peak_mass_, total_mass_);
+  for (int c = 0; c < num_channels_; ++c) {
+    metrics_.channels[static_cast<std::size_t>(c)].size.add(
+        now, channel_mass_[static_cast<std::size_t>(c)]);
+  }
+}
+
+void CohortSystem::sample_quality(double now) {
+  // Fluid quality: the mass currently downloading from a pool whose
+  // per-job rate is below the streaming rate is stalled; smooth fraction =
+  // 1 − stalled/total. Instantaneous (the discrete engine's per-viewer
+  // quality_window bookkeeping has no cheap fluid analogue).
+  const double r = params_.streaming_rate;
+  std::vector<double> stalled(static_cast<std::size_t>(num_channels_), 0.0);
+  for (std::size_t slot = 0; slot < live_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    const int c = channel_of_[slot];
+    for (int j = 0; j < num_chunks_; ++j) {
+      const double m = download_mass(slot, j);
+      if (m <= 0.0) continue;
+      if (pools_[pool_index(c, j)]->per_job_rate() < r * (1.0 - 1e-9)) {
+        stalled[static_cast<std::size_t>(c)] += m;
+      }
+    }
+  }
+  double stalled_total = 0.0;
+  for (int c = 0; c < num_channels_; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    stalled_total += stalled[ch];
+    const double mass = channel_mass_[ch];
+    const double q =
+        mass > 0.0 ? 1.0 - std::min(1.0, stalled[ch] / mass) : 1.0;
+    metrics_.channels[ch].quality.add(now, q);
+  }
+  const double q = total_mass_ > 0.0
+                       ? 1.0 - std::min(1.0, stalled_total / total_mass_)
+                       : 1.0;
+  metrics_.quality.add(now, q);
+}
+
+}  // namespace cloudmedia::vod

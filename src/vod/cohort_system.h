@@ -1,0 +1,160 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud_service.h"
+#include "cloud/entry_point.h"
+#include "core/controller.h"
+#include "sim/simulator.h"
+#include "util/matrix.h"
+#include "vod/service_pool.h"
+#include "vod/streaming_system.h"
+#include "vod/tracker.h"
+#include "workload/cohort.h"
+#include "workload/scenario.h"
+
+namespace cloudmedia::vod {
+
+/// Knobs of the cohort engine on top of the shared streaming options.
+struct CohortOptions {
+  StreamingOptions streaming;
+  /// Arrival batching window: all of a channel's arrivals within one window
+  /// become one cohort (one Poisson count draw, one arena slot).
+  double window = 300.0;
+  /// A cohort whose surviving mass drops below this retires (its residual
+  /// folds into the departure count and the slot is recycled).
+  double min_mass = 1e-3;
+};
+
+/// The cohort/fluid simulation core: the same CloudMedia deployment as
+/// StreamingSystem (tracker + controller loop, SLA'd cloud, entry point,
+/// per-(channel, chunk) ServicePools), but viewers are aggregated.
+///
+/// Statistically-identical viewers — same channel, same arrival window —
+/// form one cohort: a struct-of-arrays arena slot holding the cohort's
+/// occupancy mass per chunk position and its expected ownership mass per
+/// chunk. One heap event per cohort *transition* advances every viewer in
+/// the cohort through the ground-truth transfer matrix at once; download
+/// demand drives the pools as fluid job counts (ServicePool::set_fluid_jobs)
+/// rather than per-viewer discrete jobs. Cost: O(cohorts · J²) per window
+/// instead of O(viewers) heap events — a 10M-peak-viewer day runs in
+/// seconds (bench/cohort_smoke.cc).
+///
+/// What is exact and what is fluid:
+///  - exact: arrival counts (Poisson per channel-window), the provisioning
+///    loop (same Tracker/Controller/CloudService code paths, weighted
+///    tracker flows), cost accounting, pool byte accounting.
+///  - fluid approximations: per-chunk flows use expected values of the
+///    transfer matrix instead of sampled walks; ownership within a cohort
+///    uses an independence approximation (owned/alive as a probability);
+///    quality is mass-based (stalled mass over total mass) instead of
+///    per-viewer smoothness bookkeeping.
+/// Small-N runs wanting exactness should use the discrete engine — the
+/// expr runner's `auto` engine does precisely that below the population
+/// threshold.
+class CohortSystem {
+ public:
+  CohortSystem(sim::Simulator& simulator, const workload::Workload& workload,
+               core::VodParameters params, cloud::CloudService& cloud,
+               std::unique_ptr<core::Controller> controller,
+               CohortOptions options);
+
+  /// Schedule the window ticks and periodic tasks; then drive the simulator.
+  void start();
+
+  [[nodiscard]] const SystemMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] SystemMetrics& metrics() noexcept { return metrics_; }
+
+  // --- introspection (tests, benches) -----------------------------------
+  /// Rounded viewer mass currently in the system.
+  [[nodiscard]] std::size_t current_users() const noexcept;
+  [[nodiscard]] double current_viewer_mass() const noexcept { return total_mass_; }
+  [[nodiscard]] double channel_viewer_mass(int channel) const;
+  [[nodiscard]] double peak_viewer_mass() const noexcept { return peak_mass_; }
+  [[nodiscard]] long long viewers_admitted() const noexcept { return arrivals_count_; }
+  [[nodiscard]] double departures_mass() const noexcept { return departures_mass_; }
+  [[nodiscard]] std::size_t live_cohorts() const noexcept { return live_cohorts_; }
+  [[nodiscard]] ServicePool& pool(int channel, int chunk);
+  [[nodiscard]] Tracker& tracker() noexcept { return tracker_; }
+  [[nodiscard]] core::Controller& controller() noexcept { return *controller_; }
+  [[nodiscard]] cloud::EntryPoint& entry_point() noexcept { return entry_point_; }
+  [[nodiscard]] const core::ProvisioningPlan* last_plan() const noexcept {
+    return last_plan_ ? last_plan_.get() : nullptr;
+  }
+
+ private:
+  void window_tick(double now);
+  void transition(std::size_t slot, std::uint32_t generation);
+  void retire(std::size_t slot);
+  [[nodiscard]] std::size_t allocate_slot();
+  void refresh_behavior_cache();
+
+  void run_provisioning(double now);
+  [[nodiscard]] core::TrackerReport bootstrap_report() const;
+  void apply_plan(const core::ProvisioningPlan& plan);
+  void record_plan_series(double now);
+  void rebalance_capacity();
+  void sample_bandwidth(double now);
+  void sample_quality(double now);
+  void sync_counters();
+
+  /// Mass of cohort `slot` currently downloading chunk j (occupancy that
+  /// does not yet own the chunk, under the independence approximation).
+  [[nodiscard]] double download_mass(std::size_t slot, int chunk) const;
+  [[nodiscard]] std::size_t pool_index(int channel, int chunk) const;
+  [[nodiscard]] std::size_t cell(std::size_t slot, int chunk) const;
+
+  sim::Simulator* sim_;
+  const workload::Workload* workload_;
+  core::VodParameters params_;
+  cloud::CloudService* cloud_;
+  std::unique_ptr<core::Controller> controller_;
+  CohortOptions options_;
+
+  int num_channels_;
+  int num_chunks_;
+
+  std::vector<std::unique_ptr<ServicePool>> pools_;  ///< C × J
+  std::vector<double> served_cloud_snapshot_;        ///< bytes at interval start
+  std::vector<double> fluid_share_;                  ///< last fluid job count
+
+  Tracker tracker_;
+  cloud::EntryPoint entry_point_;
+
+  // SoA cohort arena. A slot is live iff live_[slot]; freed slots recycle
+  // through free_slots_ and bump generation_ so stale transition events
+  // from a previous tenancy are ignored.
+  std::vector<char> live_;
+  std::vector<std::uint32_t> generation_;
+  std::vector<int> channel_of_;
+  std::vector<double> alive_;        ///< surviving viewer mass
+  std::vector<double> uplink_rate_;  ///< mean per-viewer uplink (bytes/s)
+  std::vector<double> occ_;          ///< [slot · J + j] position mass
+  std::vector<double> owned_;        ///< [slot · J + j] ownership mass
+  std::vector<std::size_t> free_slots_;
+  std::size_t live_cohorts_ = 0;
+
+  // Ground-truth behaviour cache (refreshed every window tick: set_config
+  // can reshape it mid-run).
+  util::Matrix transfer_;
+  std::vector<double> entry_dist_;
+  std::vector<double> leave_row_;
+
+  std::vector<workload::CohortArrivals> arrivals_;  ///< per channel
+  std::vector<double> channel_mass_;                ///< per channel
+  double total_mass_ = 0.0;
+  double peak_mass_ = 0.0;
+
+  long long arrivals_count_ = 0;
+  double departures_mass_ = 0.0;
+  double downloads_mass_ = 0.0;
+  double late_mass_ = 0.0;
+  double replays_mass_ = 0.0;
+
+  std::shared_ptr<core::ProvisioningPlan> last_plan_;
+  SystemMetrics metrics_;
+  bool started_ = false;
+};
+
+}  // namespace cloudmedia::vod

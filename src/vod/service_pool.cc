@@ -35,13 +35,13 @@ ServicePool::ServicePool(sim::Simulator& simulator, double per_job_cap,
 }
 
 double ServicePool::per_job_rate() const noexcept {
-  if (jobs_.empty()) return 0.0;
-  const double share = total_capacity() / static_cast<double>(jobs_.size());
-  return std::min(per_job_cap_, share);
+  if (jobs_.empty() && fluid_jobs_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(jobs_.size()) + fluid_jobs_;
+  return std::min(per_job_cap_, total_capacity() / n);
 }
 
 double ServicePool::total_rate() const noexcept {
-  return per_job_rate() * static_cast<double>(jobs_.size());
+  return per_job_rate() * (static_cast<double>(jobs_.size()) + fluid_jobs_);
 }
 
 double ServicePool::peer_rate() const noexcept {
@@ -55,10 +55,11 @@ double ServicePool::cloud_rate() const noexcept {
 void ServicePool::advance() {
   const double now = sim_->now();
   const double dt = now - last_update_;
-  if (dt > 0.0 && !jobs_.empty()) {
+  if (dt > 0.0 && (!jobs_.empty() || fluid_jobs_ > 0.0)) {
     const double rate = per_job_rate();
     service_level_ += rate * dt;
-    const double total = rate * static_cast<double>(jobs_.size());
+    const double total =
+        rate * (static_cast<double>(jobs_.size()) + fluid_jobs_);
     const double peer = std::min(total, peer_cap_);
     peer_bytes_ += peer * dt;
     cloud_bytes_ += (total - peer) * dt;
@@ -148,6 +149,13 @@ void ServicePool::set_capacity(double peer_capacity, double cloud_capacity) {
   advance();
   peer_cap_ = peer_capacity;
   cloud_cap_ = cloud_capacity;
+  reschedule();
+}
+
+void ServicePool::set_fluid_jobs(double jobs) {
+  CM_EXPECTS(jobs >= 0.0 && std::isfinite(jobs));
+  advance();
+  fluid_jobs_ = jobs;
   reschedule();
 }
 

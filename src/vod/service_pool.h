@@ -52,6 +52,16 @@ class ServicePool {
   /// Abort a job (no completion fires). Returns false if unknown.
   bool remove_job(std::uint64_t job_id);
 
+  /// Fluid load from the cohort engine: a (fractional) count of
+  /// statistically-identical downloads sharing this pool alongside any
+  /// discrete jobs. Fluid jobs enter the processor-sharing denominator and
+  /// the byte accounting, but have no per-job identity and never complete —
+  /// the cohort engine advances its occupancy mass itself and re-sets this
+  /// figure each rebalance tick. 0.0 (the default) is bit-neutral: every
+  /// rate and byte the discrete engine computes is unchanged.
+  void set_fluid_jobs(double jobs);
+  [[nodiscard]] double fluid_jobs() const noexcept { return fluid_jobs_; }
+
   [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
   [[nodiscard]] double peer_capacity() const noexcept { return peer_cap_; }
   [[nodiscard]] double cloud_capacity() const noexcept { return cloud_cap_; }
@@ -63,6 +73,9 @@ class ServicePool {
   [[nodiscard]] double total_rate() const noexcept;
   [[nodiscard]] double peer_rate() const noexcept;
   [[nodiscard]] double cloud_rate() const noexcept;
+  /// Rate each (discrete or fluid) job currently receives:
+  /// min(per_job_cap, capacity / (discrete + fluid jobs)); 0 when idle.
+  [[nodiscard]] double per_job_rate() const noexcept;
 
   /// Cumulative bytes served, split by source (advanced lazily; exact as
   /// of the last event, which is what the hourly tracker needs).
@@ -80,7 +93,6 @@ class ServicePool {
   };
   using JobKey = std::pair<double, std::uint64_t>;  ///< (target level, id)
 
-  [[nodiscard]] double per_job_rate() const noexcept;
   void advance();
   void maybe_rebase();
   void reschedule();
@@ -92,6 +104,7 @@ class ServicePool {
 
   double peer_cap_ = 0.0;
   double cloud_cap_ = 0.0;
+  double fluid_jobs_ = 0.0;
   double service_level_ = 0.0;  ///< cumulative per-job bytes served
   double last_update_ = 0.0;
   double cloud_bytes_ = 0.0;

@@ -169,7 +169,7 @@ void StreamingSystem::begin_chunk(Peer& peer) {
   }
   peer.downloading = true;
   peer.download_start = sim_->now();
-  pool(peer.channel, chunk).add_job(params_.chunk_bytes(), peer.id);
+  peer.job_id = pool(peer.channel, chunk).add_job(params_.chunk_bytes(), peer.id);
 }
 
 void StreamingSystem::handle_completion(int channel, int chunk,
@@ -181,6 +181,7 @@ void StreamingSystem::handle_completion(int channel, int chunk,
   CM_ENSURES(peer.walk[peer.position] == chunk);
 
   peer.downloading = false;
+  peer.job_id = 0;
   ++metrics_.counters.chunk_downloads;
   const bool late = completion.sojourn > params_.chunk_duration + 1e-9;
   if (late) {
@@ -226,6 +227,13 @@ void StreamingSystem::advance_walk(Peer& peer) {
 
 void StreamingSystem::depart(Peer& peer) {
   const auto ch = static_cast<std::size_t>(peer.channel);
+  if (peer.downloading) {
+    // Abort the in-flight retrieval: without this the pool keeps a ghost
+    // job that holds a per-job capacity share forever and inflates
+    // cloud_bytes_served (its completion would fire into a missing peer).
+    pool(peer.channel, peer.walk[peer.position]).remove_job(peer.job_id);
+    peer.downloading = false;
+  }
   for (int i = 0; i < num_chunks_; ++i) {
     if (peer.owned[static_cast<std::size_t>(i)]) {
       --owner_count_[ch][static_cast<std::size_t>(i)];
@@ -237,12 +245,33 @@ void StreamingSystem::depart(Peer& peer) {
   peers_.erase(peer.id);
 }
 
+std::size_t StreamingSystem::evict_channel(int channel) {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  const auto ch = static_cast<std::size_t>(channel);
+  std::vector<std::uint64_t> ids(members_[ch].begin(), members_[ch].end());
+  std::sort(ids.begin(), ids.end());  // hash-set order is not deterministic
+  for (std::uint64_t id : ids) {
+    Peer& peer = peers_.at(id);
+    const int current = peer.walk[peer.position];
+    --position_count_[ch][static_cast<std::size_t>(current)];
+    tracker_.record_transition(channel, current, std::nullopt);
+    depart(peer);
+  }
+  // Pending dwell/completion events for evicted peers fire into the peer
+  // map's miss path and are ignored.
+  return ids.size();
+}
+
+double StreamingSystem::uplink_sum(int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  return uplink_sum_[static_cast<std::size_t>(channel)];
+}
+
 // --- provisioning loop ------------------------------------------------------
 
 core::TrackerReport StreamingSystem::bootstrap_report() const {
-  // The provider's prior knowledge: true arrival rates at deployment time
-  // and the ground-truth viewing pattern (Sec. V-B's "empirical user scale
-  // and viewing pattern information").
+  // Window-labelling: see the declaration — interval_start is the start of
+  // the described window, here the upcoming [now, now+T) forecast.
   core::TrackerReport report;
   report.interval_start = sim_->now();
   report.interval_length = options_.provisioning_interval;

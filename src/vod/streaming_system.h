@@ -59,6 +59,7 @@ struct Peer {
   double last_late = -1e300;    ///< completion time of last late retrieval
   bool downloading = false;
   double download_start = 0.0;
+  std::uint64_t job_id = 0;     ///< in-flight pool job (when downloading)
 };
 
 /// Per-channel metric series (the scatter sources for Figs. 6–9).
@@ -140,6 +141,33 @@ class StreamingSystem {
   /// Sum of instantaneous cloud rates across pools (bytes/s).
   [[nodiscard]] double cloud_rate_now() const;
   [[nodiscard]] double peer_rate_now() const;
+  [[nodiscard]] const std::unordered_map<std::uint64_t, Peer>& peers()
+      const noexcept {
+    return peers_;
+  }
+  [[nodiscard]] double uplink_sum(int channel) const;
+
+  /// Force every current member of `channel` to leave immediately —
+  /// mid-download departures abort their in-flight pool job. Models an
+  /// operator pulling a channel (and exercises the depart-while-downloading
+  /// path, which the organic lifecycle — depart only after a completed
+  /// chunk — never reaches). Returns how many peers were evicted.
+  std::size_t evict_channel(int channel);
+
+  /// The provider's prior at deployment time (Sec. V-B's "empirical user
+  /// scale and viewing pattern information").
+  ///
+  /// Window-labelling convention: `interval_start` is the start of the
+  /// window the report describes. The bootstrap prior describes the
+  /// *upcoming* window [now, now+T) — a forecast — so it stamps
+  /// `interval_start = now`. A periodic harvest describes the
+  /// *just-measured* window [now−T, now), so run_provisioning stamps
+  /// `interval_start = now − T`. The two agree: the t=0 bootstrap and the
+  /// first harvest (at t=T) both label window [0, T), one as a prior and
+  /// one as a measurement — consumers (SeasonalPolicy's time-of-day slot,
+  /// ClairvoyantPolicy's look-ahead anchor) treat interval_start uniformly
+  /// and never see a negative time.
+  [[nodiscard]] core::TrackerReport bootstrap_report() const;
 
  private:
   void schedule_next_arrival(int channel);
@@ -152,7 +180,6 @@ class StreamingSystem {
   void depart(Peer& peer);
 
   void run_provisioning(double now);
-  [[nodiscard]] core::TrackerReport bootstrap_report() const;
   void apply_plan(const core::ProvisioningPlan& plan);
   void record_plan_series(double now);
   void rebalance_capacity();

@@ -1,5 +1,7 @@
 #include "vod/tracker.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace cloudmedia::vod {
@@ -10,10 +12,11 @@ Tracker::Tracker(int num_channels, int num_chunks)
   CM_EXPECTS(num_chunks >= 1);
   counts_.resize(static_cast<std::size_t>(num_channels));
   for (ChannelCounts& c : counts_) {
-    c.entries.assign(static_cast<std::size_t>(num_chunks), 0);
-    c.transitions.assign(static_cast<std::size_t>(num_chunks),
-                         std::vector<long>(static_cast<std::size_t>(num_chunks), 0));
-    c.leaves.assign(static_cast<std::size_t>(num_chunks), 0);
+    c.entries.assign(static_cast<std::size_t>(num_chunks), 0.0);
+    c.transitions.assign(
+        static_cast<std::size_t>(num_chunks),
+        std::vector<double>(static_cast<std::size_t>(num_chunks), 0.0));
+    c.leaves.assign(static_cast<std::size_t>(num_chunks), 0.0);
   }
 }
 
@@ -27,22 +30,25 @@ const Tracker::ChannelCounts& Tracker::channel(int c) const {
   return counts_[static_cast<std::size_t>(c)];
 }
 
-void Tracker::record_arrival(int channel_id, int entry_chunk) {
+void Tracker::record_arrival(int channel_id, int entry_chunk, double weight) {
   CM_EXPECTS(entry_chunk >= 0 && entry_chunk < num_chunks_);
+  CM_EXPECTS(weight >= 0.0);
   ChannelCounts& c = channel(channel_id);
-  ++c.arrivals;
-  ++c.entries[static_cast<std::size_t>(entry_chunk)];
+  c.arrivals += weight;
+  c.entries[static_cast<std::size_t>(entry_chunk)] += weight;
 }
 
 void Tracker::record_transition(int channel_id, int from,
-                                std::optional<int> to) {
+                                std::optional<int> to, double weight) {
   CM_EXPECTS(from >= 0 && from < num_chunks_);
+  CM_EXPECTS(weight >= 0.0);
   ChannelCounts& c = channel(channel_id);
   if (to) {
     CM_EXPECTS(*to >= 0 && *to < num_chunks_);
-    ++c.transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(*to)];
+    c.transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(*to)] +=
+        weight;
   } else {
-    ++c.leaves[static_cast<std::size_t>(from)];
+    c.leaves[static_cast<std::size_t>(from)] += weight;
   }
 }
 
@@ -68,13 +74,12 @@ core::TrackerReport Tracker::harvest(
     core::ChannelObservation& obs =
         report.channels[static_cast<std::size_t>(ch)];
 
-    obs.arrival_rate = static_cast<double>(c.arrivals) / interval_length;
+    obs.arrival_rate = c.arrivals / interval_length;
 
     obs.entry.assign(j, 0.0);
-    if (c.arrivals > 0) {
+    if (c.arrivals > 0.0) {
       for (std::size_t i = 0; i < j; ++i) {
-        obs.entry[i] = static_cast<double>(c.entries[i]) /
-                       static_cast<double>(c.arrivals);
+        obs.entry[i] = c.entries[i] / c.arrivals;
       }
     } else {
       // No arrivals: the entry distribution is moot (Λ̂ = 0); keep it a
@@ -84,12 +89,11 @@ core::TrackerReport Tracker::harvest(
 
     obs.transfer = util::Matrix(j, j);
     for (std::size_t from = 0; from < j; ++from) {
-      long row_total = c.leaves[from];
+      double row_total = c.leaves[from];
       for (std::size_t to = 0; to < j; ++to) row_total += c.transitions[from][to];
-      if (row_total == 0) continue;  // unobserved chunk: row stays zero
+      if (row_total <= 0.0) continue;  // unobserved chunk: row stays zero
       for (std::size_t to = 0; to < j; ++to) {
-        obs.transfer(from, to) = static_cast<double>(c.transitions[from][to]) /
-                                 static_cast<double>(row_total);
+        obs.transfer(from, to) = c.transitions[from][to] / row_total;
       }
     }
 
@@ -99,25 +103,28 @@ core::TrackerReport Tracker::harvest(
         served_cloud_bandwidth[static_cast<std::size_t>(ch)];
 
     // Reset for the next interval.
-    c.arrivals = 0;
-    std::fill(c.entries.begin(), c.entries.end(), 0L);
-    std::fill(c.leaves.begin(), c.leaves.end(), 0L);
-    for (auto& row : c.transitions) std::fill(row.begin(), row.end(), 0L);
+    c.arrivals = 0.0;
+    std::fill(c.entries.begin(), c.entries.end(), 0.0);
+    std::fill(c.leaves.begin(), c.leaves.end(), 0.0);
+    for (auto& row : c.transitions) std::fill(row.begin(), row.end(), 0.0);
   }
   return report;
 }
 
-long Tracker::arrivals(int channel_id) const { return channel(channel_id).arrivals; }
+long Tracker::arrivals(int channel_id) const {
+  return std::lround(channel(channel_id).arrivals);
+}
 
 long Tracker::transitions(int channel_id, int from, int to) const {
   CM_EXPECTS(from >= 0 && from < num_chunks_ && to >= 0 && to < num_chunks_);
-  return channel(channel_id)
-      .transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  return std::lround(
+      channel(channel_id)
+          .transitions[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)]);
 }
 
 long Tracker::leaves(int channel_id, int from) const {
   CM_EXPECTS(from >= 0 && from < num_chunks_);
-  return channel(channel_id).leaves[static_cast<std::size_t>(from)];
+  return std::lround(channel(channel_id).leaves[static_cast<std::size_t>(from)]);
 }
 
 }  // namespace cloudmedia::vod

@@ -19,9 +19,14 @@ class Tracker {
  public:
   Tracker(int num_channels, int num_chunks);
 
-  void record_arrival(int channel, int entry_chunk);
+  /// `weight` lets the cohort engine record a whole batch of
+  /// statistically-identical viewers in one call; the discrete engine's
+  /// default of 1.0 keeps every harvest byte-identical (integer-valued
+  /// doubles below 2^53 add and divide exactly like the longs they were).
+  void record_arrival(int channel, int entry_chunk, double weight = 1.0);
   /// `to` empty = the user left the channel after `from`.
-  void record_transition(int channel, int from, std::optional<int> to);
+  void record_transition(int channel, int from, std::optional<int> to,
+                         double weight = 1.0);
 
   /// Build the report for the interval [interval_start, interval_start +
   /// interval_length) and reset counters. The caller supplies the
@@ -34,6 +39,8 @@ class Tracker {
       const std::vector<double>& mean_uplink,
       const std::vector<std::vector<double>>& served_cloud_bandwidth);
 
+  /// Rounded views of the (possibly weighted) counters; exact for the
+  /// discrete engine's unit-weight recording.
   [[nodiscard]] long arrivals(int channel) const;
   [[nodiscard]] long transitions(int channel, int from, int to) const;
   [[nodiscard]] long leaves(int channel, int from) const;
@@ -42,10 +49,10 @@ class Tracker {
 
  private:
   struct ChannelCounts {
-    long arrivals = 0;
-    std::vector<long> entries;                  ///< per entry chunk
-    std::vector<std::vector<long>> transitions; ///< [from][to]
-    std::vector<long> leaves;                   ///< per from-chunk
+    double arrivals = 0.0;
+    std::vector<double> entries;                  ///< per entry chunk
+    std::vector<std::vector<double>> transitions; ///< [from][to]
+    std::vector<double> leaves;                   ///< per from-chunk
   };
 
   [[nodiscard]] ChannelCounts& channel(int c);

@@ -1,0 +1,54 @@
+#include "workload/cohort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudmedia::workload {
+
+long long sample_poisson(util::Rng& rng, double mean) {
+  CM_EXPECTS(mean >= 0.0 && std::isfinite(mean));
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: count uniforms until their product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    long long k = 0;
+    double prod = rng.uniform();
+    while (prod >= limit) {
+      ++k;
+      prod *= rng.uniform();
+    }
+    return k;
+  }
+  // Above the cutoff the normal approximation's error (O(1/sqrt(mean))) is
+  // far inside the cohort engine's fluid tolerance, and it stays one
+  // normal draw no matter how large the mean — the property the
+  // 10M-viewer bench depends on.
+  return std::llround(std::max(0.0, rng.normal(mean, std::sqrt(mean))));
+}
+
+CohortArrivals::CohortArrivals(std::function<double(double)> rate,
+                               double window, util::Rng rng)
+    : rate_(std::move(rate)), window_(window), rng_(rng) {
+  CM_EXPECTS(rate_ != nullptr);
+  CM_EXPECTS(window_ > 0.0);
+}
+
+double CohortArrivals::window_mean(double t) const {
+  constexpr double kStep = 60.0;
+  double acc = 0.0;
+  int n = 0;
+  for (double s = t; s < t + window_; s += kStep) {
+    acc += rate_(s);
+    ++n;
+  }
+  const double mean_rate = n > 0 ? acc / n : rate_(t);
+  return mean_rate * window_;
+}
+
+long long CohortArrivals::sample_count(double t) {
+  return sample_poisson(rng_, window_mean(t));
+}
+
+}  // namespace cloudmedia::workload

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+
+#include "util/rng.h"
+
+namespace cloudmedia::workload {
+
+/// Poisson sample with the given mean, fully specified (no
+/// std::poisson_distribution, whose algorithm is implementation-defined):
+/// Knuth's product-of-uniforms below mean 64, a rounded normal
+/// approximation above it. Like the Rng samplers, depends only on IEEE-754
+/// arithmetic and libm exp/log/sqrt rounding.
+[[nodiscard]] long long sample_poisson(util::Rng& rng, double mean);
+
+/// Arrival batching for the cohort engine: instead of drawing every viewer's
+/// arrival instant (the discrete PoissonArrivals stream), draw the *count*
+/// of arrivals to one channel per fixed window — one Poisson sample per
+/// (channel, window), which is what makes 10M-viewer populations cheap.
+///
+/// Deterministic: the count stream comes from a derived Rng keyed by the
+/// channel, and the window mean integrates the live channel rate, so two
+/// runs over the same Workload seed see identical cohort sizes.
+class CohortArrivals {
+ public:
+  /// `rate(t)`: instantaneous channel arrival rate (users/s), read live so
+  /// mid-run config mutations show up in later windows.
+  CohortArrivals(std::function<double(double)> rate, double window,
+                 util::Rng rng);
+
+  /// Expected arrivals in [t, t + window): the rate integrated at 60 s
+  /// resolution (matching the Clairvoyant policy's quadrature).
+  [[nodiscard]] double window_mean(double t) const;
+
+  /// Draw the arrival count for the window starting at `t`. Consumes the
+  /// stream — call once per window, in window order.
+  [[nodiscard]] long long sample_count(double t);
+
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+ private:
+  std::function<double(double)> rate_;
+  double window_;
+  util::Rng rng_;
+};
+
+}  // namespace cloudmedia::workload

@@ -11,6 +11,7 @@ namespace {
 // RNG stream purposes; arbitrary distinct constants.
 constexpr std::uint64_t kPurposeArrivals = 0xA771;
 constexpr std::uint64_t kPurposeSession = 0x5E55;
+constexpr std::uint64_t kPurposeCohort = 0xC040;
 
 BoundedPareto make_uplink(const WorkloadConfig& cfg) {
   BoundedPareto raw(cfg.uplink_lower, cfg.uplink_upper, cfg.uplink_shape);
@@ -93,6 +94,14 @@ PoissonArrivals Workload::make_arrivals(int channel) const {
       [this, channel](double t) { return channel_rate(channel, t); },
       channel_max_rate(channel) * envelope_headroom_,
       root_.derive(kPurposeArrivals, static_cast<std::uint64_t>(channel)));
+}
+
+CohortArrivals Workload::make_cohort_arrivals(int channel,
+                                              double window) const {
+  CM_EXPECTS(channel >= 0 && channel < config_.num_channels);
+  return CohortArrivals(
+      [this, channel](double t) { return channel_rate(channel, t); }, window,
+      root_.derive(kPurposeCohort, static_cast<std::uint64_t>(channel)));
 }
 
 SessionScript Workload::make_session(int channel,

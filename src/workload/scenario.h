@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "workload/cohort.h"
 #include "workload/distributions.h"
 #include "workload/viewing.h"
 
@@ -85,6 +86,12 @@ class Workload {
 
   /// Arrival stream for a channel (independent derived RNG).
   [[nodiscard]] PoissonArrivals make_arrivals(int channel) const;
+
+  /// Windowed arrival-count stream for the cohort engine (independent
+  /// derived RNG — a different purpose than make_arrivals, so the two
+  /// engines never share draws).
+  [[nodiscard]] CohortArrivals make_cohort_arrivals(int channel,
+                                                    double window) const;
 
   /// Deterministic session for the `user_index`-th arrival of `channel`.
   [[nodiscard]] SessionScript make_session(int channel,

@@ -249,6 +249,8 @@ TEST(ParamGrid, EveryKnownParameterApplies) {
       apply_parameter(cfg, name, "3");
     } else if (name == "chunk_minutes") {
       apply_parameter(cfg, name, "5");
+    } else if (name == "engine") {
+      apply_parameter(cfg, name, "cohort");
     } else {
       apply_parameter(cfg, name, "0.5");
     }

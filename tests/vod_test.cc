@@ -1,13 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "cloud/cloud_service.h"
+#include "core/controller.h"
+#include "expr/config.h"
 #include "sim/simulator.h"
+#include "sweep/scenario_catalog.h"
 #include "util/check.h"
 #include "vod/service_pool.h"
+#include "vod/streaming_system.h"
 #include "vod/tracker.h"
+#include "workload/scenario.h"
 
 namespace cloudmedia::vod {
 namespace {
@@ -232,6 +242,63 @@ TEST(ServicePool, SojournMeasuredFromEnqueue) {
   EXPECT_NEAR(h.done[0].sojourn, 2.0, 1e-9);
 }
 
+// ------------------------------------------------- ServicePool fluid jobs
+
+TEST(ServicePool, FluidJobsShareCapacityWithDiscreteJobs) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.pool.add_job(100.0, 1);
+  h.pool.set_fluid_jobs(1.0);  // processor-sharing denominator becomes 2
+  EXPECT_NEAR(h.pool.per_job_rate(), 50.0, 1e-12);
+  EXPECT_NEAR(h.pool.total_rate(), 100.0, 1e-12);
+  h.sim.run_all();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 2.0, 1e-9);  // slowed from 1 s to 2 s
+}
+
+TEST(ServicePool, FluidOnlyPoolAccruesBytesWithoutCompletions) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(30.0, 70.0);
+  h.pool.set_fluid_jobs(4.0);  // per-job rate min(100, 100/4) = 25
+  EXPECT_NEAR(h.pool.total_rate(), 100.0, 1e-12);
+  h.sim.run_until(10.0);
+  h.pool.sync();
+  EXPECT_TRUE(h.done.empty());  // fluid mass never "completes"
+  EXPECT_EQ(h.pool.active_jobs(), 0u);
+  EXPECT_NEAR(h.pool.peer_bytes_served(), 300.0, 1e-6);
+  EXPECT_NEAR(h.pool.cloud_bytes_served(), 700.0, 1e-6);
+}
+
+TEST(ServicePool, ZeroFluidJobsIsBitNeutral) {
+  // The discrete engine leaves fluid_jobs_ at 0.0; x + 0.0 == x exactly,
+  // so the committed goldens cannot move. Pin the neutral case.
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.pool.add_job(100.0, 1);
+  h.pool.set_fluid_jobs(0.0);
+  EXPECT_DOUBLE_EQ(h.pool.per_job_rate(), 100.0);
+  h.sim.run_all();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 1.0, 1e-12);
+}
+
+TEST(ServicePool, FluidJobsClearedMidFlightRestoresFullRate) {
+  PoolHarness h(100.0);
+  h.pool.set_capacity(0.0, 100.0);
+  h.pool.add_job(100.0, 1);
+  h.pool.set_fluid_jobs(1.0);                           // 50 B/s
+  h.sim.schedule_at(1.0, [&] { h.pool.set_fluid_jobs(0.0); });
+  h.sim.run_all();
+  // 50 bytes in the shared first second, the rest alone at 100 B/s.
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 1.5, 1e-9);
+}
+
+TEST(ServicePool, FluidJobsRejectInvalidValues) {
+  PoolHarness h;
+  EXPECT_THROW(h.pool.set_fluid_jobs(-1.0), util::PreconditionError);
+}
+
 // --------------------------------------------------------------- Tracker
 
 TEST(Tracker, CountsArrivalsAndTransitions) {
@@ -317,6 +384,241 @@ TEST(Tracker, ValidatesIndices) {
   EXPECT_THROW(tracker.record_arrival(5, 0), util::PreconditionError);
   EXPECT_THROW(tracker.record_arrival(0, 9), util::PreconditionError);
   EXPECT_THROW(tracker.record_transition(0, 0, 7), util::PreconditionError);
+}
+
+TEST(Tracker, WeightedRecordsAccumulateFractionalMass) {
+  // The cohort engine reports expected flows, not unit events: weights are
+  // fractional viewer mass. Integer getters round; harvest normalizes the
+  // raw mass.
+  Tracker tracker(1, 3);
+  tracker.record_arrival(0, 0, 1.5);
+  tracker.record_arrival(0, 1, 2.5);
+  tracker.record_transition(0, 0, 1, 3.0);
+  tracker.record_transition(0, 0, std::nullopt, 1.0);
+  EXPECT_EQ(tracker.arrivals(0), 4);  // lround(1.5 + 2.5)
+  EXPECT_EQ(tracker.transitions(0, 0, 1), 3);
+  EXPECT_EQ(tracker.leaves(0, 0), 1);
+
+  const std::vector<std::vector<double>> occupancy{{0.0, 0.0, 0.0}};
+  const std::vector<double> uplink{0.0};
+  const core::TrackerReport report =
+      tracker.harvest(0.0, 3600.0, occupancy, uplink, occupancy);
+  const core::ChannelObservation& obs = report.channels[0];
+  EXPECT_NEAR(obs.arrival_rate, 4.0 / 3600.0, 1e-15);
+  EXPECT_NEAR(obs.entry[0], 1.5 / 4.0, 1e-12);
+  EXPECT_NEAR(obs.entry[1], 2.5 / 4.0, 1e-12);
+  EXPECT_NEAR(obs.transfer(0, 1), 3.0 / 4.0, 1e-12);  // row mass 3 + 1
+  EXPECT_THROW(tracker.record_arrival(0, 0, -0.5), util::PreconditionError);
+}
+
+// ------------------------------------------------- full-system lifecycle
+
+cloud::CloudConfig cloud_config_for(const expr::ExperimentConfig& cfg) {
+  cloud::CloudConfig cc;
+  cc.sla = cloud::SlaTerms{cfg.vm_budget_per_hour, cfg.storage_budget_per_hour,
+                           cfg.vm_clusters, cfg.nfs_clusters};
+  cc.vm = cloud::VmSchedulerConfig{0.0, cfg.vod.vm_bandwidth};
+  return cc;
+}
+
+/// The full deployment wired by hand (as integration_test does) so the
+/// tests below can poke StreamingSystem internals mid-run.
+struct SystemHarness {
+  sim::Simulator sim;
+  workload::Workload workload;
+  cloud::CloudService cloud;
+  StreamingSystem system;
+
+  SystemHarness(const expr::ExperimentConfig& cfg, StreamingOptions options,
+                std::unique_ptr<core::DemandPolicy> policy)
+      : workload(cfg.workload, cfg.seed),
+        cloud(sim, cloud_config_for(cfg)),
+        system(sim, workload, cfg.vod, cloud,
+               std::make_unique<core::Controller>(
+                   cfg.vod,
+                   core::ControllerConfig{cfg.vm_clusters, cfg.nfs_clusters,
+                                          cfg.vm_budget_per_hour,
+                                          cfg.storage_budget_per_hour},
+                   std::move(policy)),
+               options) {}
+};
+
+std::unique_ptr<core::DemandPolicy> model_policy(
+    const expr::ExperimentConfig& cfg, core::StreamingMode mode) {
+  core::DemandEstimatorConfig est;
+  est.mode = mode;
+  return std::make_unique<core::ModelBasedPolicy>(cfg.vod, est);
+}
+
+TEST(StreamingSystem, DepartWhileDownloadingAbortsPoolJob) {
+  // Regression for the ghost-job leak: a peer departing mid-download left
+  // its pool job in flight, holding a processor-sharing capacity share
+  // forever and inflating cloud_bytes_served when it finally "completed"
+  // into a missing peer.
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  cfg.workload.num_channels = 2;
+  cfg.workload.total_arrival_rate = 0.05;
+  cfg.workload.diurnal = workload::DiurnalPattern::flat();
+  cfg.seed = 11;
+
+  StreamingOptions options;
+  options.mode = core::StreamingMode::kClientServer;
+  options.bootstrap_plan = false;  // no capacity: every download stalls
+
+  SystemHarness h(cfg, options,
+                  model_policy(cfg, core::StreamingMode::kClientServer));
+  h.system.start();
+  h.sim.run_until(1800.0);  // before the first plan: pools still at zero
+
+  // Precondition: every present peer is stuck mid-download holding a job.
+  ASSERT_GT(h.system.current_users(), 0u);
+  std::size_t downloading = 0;
+  for (const auto& [id, peer] : h.system.peers()) {
+    downloading += peer.downloading ? 1u : 0u;
+  }
+  EXPECT_EQ(downloading, h.system.current_users());
+  const auto pool_jobs = [&] {
+    std::size_t jobs = 0;
+    for (int c = 0; c < cfg.workload.num_channels; ++c) {
+      for (int j = 0; j < cfg.vod.chunks_per_video; ++j) {
+        jobs += h.system.pool(c, j).active_jobs();
+      }
+    }
+    return jobs;
+  };
+  EXPECT_EQ(pool_jobs(), downloading);
+
+  // Evict everyone: each mid-download departure must abort its pool job.
+  std::size_t evicted = 0;
+  for (int c = 0; c < cfg.workload.num_channels; ++c) {
+    evicted += h.system.evict_channel(c);
+  }
+  EXPECT_EQ(evicted, downloading);
+  EXPECT_EQ(h.system.current_users(), 0u);
+  EXPECT_EQ(pool_jobs(), 0u) << "ghost jobs survived the departures";
+  const SystemCounters& counters = h.system.metrics().counters;
+  EXPECT_EQ(counters.arrivals, counters.departures);
+
+  // Aborted jobs must never fire a completion into the missing peers.
+  const long downloads_before = counters.chunk_downloads;
+  h.sim.run_until(3000.0);
+  EXPECT_EQ(counters.chunk_downloads, downloads_before);
+}
+
+TEST(StreamingSystem, ConservationInvariantsAfterGoldenPresetRun) {
+  // Run a downsized live_event_cliff (the golden preset the cohort bench
+  // scales up) into the middle of its 20:00 arrival wall, then check every
+  // derived count against the peer map it is supposed to mirror.
+  expr::ExperimentConfig cfg = sweep::ScenarioCatalog::global().make_config(
+      "live_event_cliff", core::StreamingMode::kP2p);
+  cfg.workload.total_arrival_rate = 0.04;  // downsized from the preset
+  cfg.seed = 3;
+
+  StreamingOptions options;
+  options.mode = core::StreamingMode::kP2p;
+  SystemHarness h(cfg, options, model_policy(cfg, core::StreamingMode::kP2p));
+  h.system.start();
+  h.sim.run_until(20.5 * 3600.0);  // mid-cliff: maximal churn
+
+  const SystemCounters& counters = h.system.metrics().counters;
+  EXPECT_GT(counters.arrivals, 0);
+  EXPECT_EQ(counters.arrivals - counters.departures,
+            static_cast<long>(h.system.current_users()));
+
+  const int channels = cfg.workload.num_channels;
+  const int chunks = cfg.vod.chunks_per_video;
+  std::vector<std::vector<long>> owned(
+      static_cast<std::size_t>(channels),
+      std::vector<long>(static_cast<std::size_t>(chunks), 0));
+  std::vector<std::vector<long>> at_position = owned;
+  std::vector<double> uplink(static_cast<std::size_t>(channels), 0.0);
+  std::vector<std::size_t> members(static_cast<std::size_t>(channels), 0);
+  for (const auto& [id, peer] : h.system.peers()) {
+    const auto ch = static_cast<std::size_t>(peer.channel);
+    ++members[ch];
+    uplink[ch] += peer.uplink;
+    ++at_position[ch][static_cast<std::size_t>(peer.walk[peer.position])];
+    for (int j = 0; j < chunks; ++j) {
+      owned[ch][static_cast<std::size_t>(j)] +=
+          peer.owned[static_cast<std::size_t>(j)] ? 1 : 0;
+    }
+  }
+  for (int c = 0; c < channels; ++c) {
+    const auto ch = static_cast<std::size_t>(c);
+    EXPECT_EQ(h.system.channel_users(c), members[ch]);
+    EXPECT_NEAR(h.system.uplink_sum(c), uplink[ch],
+                1e-6 * std::max(1.0, uplink[ch]));
+    for (int j = 0; j < chunks; ++j) {
+      EXPECT_EQ(h.system.owner_count(c, j),
+                owned[ch][static_cast<std::size_t>(j)]);
+      EXPECT_EQ(h.system.position_count(c, j),
+                at_position[ch][static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+/// Records every report the controller is asked to estimate from, so the
+/// window-labelling test can see bootstrap and harvest side by side.
+class ProbePolicy final : public core::DemandPolicy {
+ public:
+  ProbePolicy(int channels, int chunks,
+              std::vector<std::pair<double, double>>* windows)
+      : channels_(channels), chunks_(chunks), windows_(windows) {}
+
+  core::DemandSet estimate(const core::TrackerReport& report) override {
+    windows_->emplace_back(report.interval_start, report.interval_length);
+    core::DemandSet demand;
+    demand.cloud_demand.assign(
+        static_cast<std::size_t>(channels_),
+        std::vector<double>(static_cast<std::size_t>(chunks_), 0.0));
+    return demand;
+  }
+  std::string name() const override { return "probe"; }
+
+ private:
+  int channels_;
+  int chunks_;
+  std::vector<std::pair<double, double>>* windows_;
+};
+
+TEST(StreamingSystem, BootstrapAndHarvestAgreeOnWindowLabels) {
+  // bootstrap_report() stamps interval_start = now (the upcoming-window
+  // forecast) while the hourly harvest stamps now - T (the just-measured
+  // window). The asymmetry is deliberate: both describe the *start* of the
+  // window they label, so the t=0 bootstrap and the first harvest name the
+  // same window [0, T) and no consumer ever sees a negative time.
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  cfg.workload.num_channels = 2;
+  cfg.workload.total_arrival_rate = 0.02;
+  cfg.workload.diurnal = workload::DiurnalPattern::flat();
+  cfg.seed = 5;
+
+  StreamingOptions options;
+  options.mode = core::StreamingMode::kClientServer;
+  ASSERT_TRUE(options.bootstrap_plan);
+
+  std::vector<std::pair<double, double>> windows;
+  SystemHarness h(cfg, options,
+                  std::make_unique<ProbePolicy>(cfg.workload.num_channels,
+                                                cfg.vod.chunks_per_video,
+                                                &windows));
+  const double T = options.provisioning_interval;
+  const core::TrackerReport prior = h.system.bootstrap_report();
+  EXPECT_DOUBLE_EQ(prior.interval_start, 0.0);
+  EXPECT_DOUBLE_EQ(prior.interval_length, T);
+
+  h.system.start();
+  h.sim.run_until(2.5 * T);
+  ASSERT_EQ(windows.size(), 3u);  // bootstrap + harvests at T and 2T
+  EXPECT_DOUBLE_EQ(windows[0].first, 0.0);  // forecast of [0, T)
+  EXPECT_DOUBLE_EQ(windows[1].first, 0.0);  // measurement of [0, T)
+  EXPECT_DOUBLE_EQ(windows[2].first, T);
+  for (const auto& [start, length] : windows) {
+    EXPECT_DOUBLE_EQ(length, T);
+    EXPECT_GE(start, 0.0);
+  }
 }
 
 }  // namespace
