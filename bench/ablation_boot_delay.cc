@@ -19,6 +19,7 @@
 #include "expr/flags.h"
 #include "expr/paper.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -27,10 +28,10 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_boot_delay").spec;
-  spec.warmup_hours = 2.0;
-  spec.measure_hours = 24.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_boot_delay").profile;
+  prof.warmup_hours = 2.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // late-retrieval counters per row
   spec.apply_flags(flags);
 

@@ -23,6 +23,7 @@
 
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -31,10 +32,10 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_chunk_size").spec;
-  spec.warmup_hours = 2.0;
-  spec.measure_hours = 16.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_chunk_size").profile;
+  prof.warmup_hours = 2.0;
+  prof.measure_hours = 16.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // VM-boot and late-retrieval counters per row
   spec.apply_flags(flags);
 

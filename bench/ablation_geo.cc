@@ -23,6 +23,7 @@
 #include "expr/flags.h"
 #include "expr/runner.h"
 #include "geo/federation.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "util/check.h"
@@ -52,10 +53,10 @@ double federated_peak(const std::vector<const expr::ExperimentResult*>& regions)
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_geo").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 24.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_geo").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the peak accounting needs hourly cost series
   spec.apply_flags(flags);
 

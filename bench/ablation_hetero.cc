@@ -27,6 +27,7 @@
 #include "core/p2p.h"
 #include "core/params.h"
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "workload/distributions.h"
@@ -159,10 +160,10 @@ int main(int argc, char** argv) {
   if (!flags.get("e2e", true)) return 0;
 
   // --- part 3: end to end on the sweep engine ------------------------------
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_hetero").spec;
-  spec.warmup_hours = 2.0;
-  spec.measure_hours = 12.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_hetero").profile;
+  prof.warmup_hours = 2.0;
+  prof.measure_hours = 12.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   std::printf("\nPart 3: full simulations, Pareto tail varied at fixed mean "

@@ -25,6 +25,7 @@
 #include "core/p2p.h"
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "util/units.h"
@@ -79,10 +80,10 @@ int main(int argc, char** argv) {
               100.0 * params.streaming_rate / params.vm_bandwidth);
 
   // ------------------------------------------- end-to-end on the sweep engine
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_p2p_cap").spec;
-  spec.warmup_hours = 2.0;
-  spec.measure_hours = 12.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_p2p_cap").profile;
+  prof.warmup_hours = 2.0;
+  prof.measure_hours = 12.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   std::printf("\nend-to-end (%.0f h P2P simulation, seed %llu, shared "

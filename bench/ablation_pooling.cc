@@ -18,6 +18,7 @@
 #include <string>
 
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
@@ -28,13 +29,13 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec;
-  spec.scenario = "baseline_diurnal";
-  spec.grid.add_axis("capacity", {"literal", "pooled"});
-  spec.grid.add_axis("arrival", {"0.14", "0.28", "0.55", "1.1"});
-  spec.threads = 0;  // default to hardware
-  spec.warmup_hours = 2.0;
-  spec.measure_hours = 12.0;
+  profile::Profile prof;
+  prof.scenario = "baseline_diurnal";
+  prof.grid.add_axis("capacity", {"literal", "pooled"});
+  prof.grid.add_axis("arrival", {"0.14", "0.28", "0.55", "1.1"});
+  prof.warmup_hours = 2.0;
+  prof.measure_hours = 12.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   std::printf("Ablation: per-chunk literal vs channel-pooled VM sizing "

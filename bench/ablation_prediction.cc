@@ -23,6 +23,7 @@
 #include "expr/runner.h"
 #include "predict/accuracy.h"
 #include "predict/forecaster.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "workload/scenario.h"
@@ -88,10 +89,10 @@ int main(int argc, char** argv) {
   if (!flags.get("e2e", true)) return 0;
 
   // --- part 2: end to end on the sweep engine ------------------------------
-  sweep::SweepSpec spec = sweep::golden_preset("ablation_prediction").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 30.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("ablation_prediction").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 30.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   std::printf("\nPart 2: end-to-end provisioning (client-server, %.0f h "

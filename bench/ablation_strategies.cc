@@ -19,6 +19,7 @@
 #include <string>
 
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
@@ -28,13 +29,13 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec;
-  spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
-  spec.grid.add_axis("strategy", {"model", "model-nofloor", "reactive",
+  profile::Profile prof;
+  prof.scenario = flags.get("scenario", std::string("baseline_diurnal"));
+  prof.grid.add_axis("strategy", {"model", "model-nofloor", "reactive",
                                   "static", "seasonal", "clairvoyant"});
-  spec.threads = 0;  // default to hardware
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 48.0;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 48.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   std::printf("Ablation: provisioning strategies (client-server, %s, %.0f h, "

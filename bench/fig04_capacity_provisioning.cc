@@ -22,6 +22,7 @@
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -30,10 +31,10 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig04_provisioning").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 100.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig04_provisioning").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 100.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the series tables need the full metrics
   spec.apply_flags(flags);
 

@@ -20,6 +20,7 @@
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -37,10 +38,10 @@ double worst_hourly(const util::TimeSeries& series, double t0) {
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig05_quality").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 100.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig05_quality").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 100.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // hourly series + late-retrieval counters
   spec.apply_flags(flags);
 

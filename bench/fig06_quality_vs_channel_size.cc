@@ -19,6 +19,7 @@
 
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "util/csv.h"
@@ -74,10 +75,10 @@ void print_bucketed(const char* label, const std::vector<Sample>& samples) {
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig06_modes").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 24.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig06_modes").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the scatter needs the per-channel series
   spec.apply_flags(flags);
 

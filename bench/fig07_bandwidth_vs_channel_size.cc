@@ -21,6 +21,7 @@
 
 #include "expr/flags.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 #include "util/csv.h"
@@ -68,10 +69,10 @@ void print_buckets(const char* label, const std::vector<double>& sizes,
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig07_bandwidth_scaling").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 24.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig07_bandwidth_scaling").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the scatter needs the per-channel series
   spec.apply_flags(flags);
 

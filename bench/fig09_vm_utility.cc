@@ -20,6 +20,7 @@
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -47,9 +48,10 @@ int closest_channel(const expr::ExperimentResult& r, double target,
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig09_vm_utility").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 24.0;
+  profile::Profile prof = sweep::golden_preset("fig09_vm_utility").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the figure is per-channel utility series
   spec.apply_flags(flags);
 

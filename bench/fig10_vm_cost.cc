@@ -21,6 +21,7 @@
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -29,10 +30,10 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig10_vm_cost").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 24.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig10_vm_cost").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 24.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // hourly cost series + cost totals
   spec.apply_flags(flags);
 

@@ -24,6 +24,7 @@
 #include "expr/paper.h"
 #include "expr/report.h"
 #include "expr/runner.h"
+#include "profile/profile.h"
 #include "sweep/goldens.h"
 #include "sweep/sweep_runner.h"
 
@@ -32,10 +33,10 @@ using namespace cloudmedia;
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec = sweep::golden_preset("fig11_peer_sufficiency").spec;
-  spec.warmup_hours = 4.0;
-  spec.measure_hours = 72.0;
-  spec.threads = 0;  // default to hardware
+  profile::Profile prof = sweep::golden_preset("fig11_peer_sufficiency").profile;
+  prof.warmup_hours = 4.0;
+  prof.measure_hours = 72.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.keep_results = true;  // the quality series per ratio
   spec.apply_flags(flags);
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "store/results_store.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
@@ -91,11 +92,11 @@ int main(int argc, char** argv) {
   }
   const auto cells = static_cast<std::size_t>(cells_flag);
 
-  sweep::SweepSpec spec;
-  spec.scenario = "baseline_diurnal";
-  spec.threads = 0;  // default to hardware
-  spec.warmup_hours = 0.0;
-  spec.measure_hours = 0.25;
+  profile::Profile prof;
+  prof.scenario = "baseline_diurnal";
+  prof.warmup_hours = 0.0;
+  prof.measure_hours = 0.25;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
   // Densify the series so the buffered run's footprint reflects what
   // keep_results actually costs at scale (60 s sampling on a 15-minute

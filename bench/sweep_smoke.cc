@@ -19,6 +19,7 @@
 #include <string>
 
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "sweep/param_grid.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/thread_pool.h"
@@ -44,13 +45,13 @@ std::size_t retained_samples(const sweep::SweepResult& result) {
 int main(int argc, char** argv) {
   const expr::Flags flags(argc, argv);
 
-  sweep::SweepSpec spec;
-  spec.scenario = "baseline_diurnal";
-  spec.grid.add_axis("arrival", {"0.4", "0.8", "1.1"});
-  spec.grid.add_axis("channels", {"8", "12", "16"});
-  spec.threads = 0;  // default to hardware
-  spec.warmup_hours = 0.25;
-  spec.measure_hours = 1.0;
+  profile::Profile prof;
+  prof.scenario = "baseline_diurnal";
+  prof.grid.add_axis("arrival", {"0.4", "0.8", "1.1"});
+  prof.grid.add_axis("channels", {"8", "12", "16"});
+  prof.warmup_hours = 0.25;
+  prof.measure_hours = 1.0;
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
   spec.apply_flags(flags);
 
   const unsigned threads =

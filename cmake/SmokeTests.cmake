@@ -59,6 +59,15 @@ if(CLOUDMEDIA_BUILD_TOOLS)
   if(TEST smoke.golden_diff)
     set_tests_properties(smoke.golden_diff PROPERTIES DEPENDS smoke.sweep_demo)
   endif()
+  # Scenario fuzzer at smoke scale: a few seeded random profiles through
+  # all four invariants (conservation, budget, quality, determinism); the
+  # full 25-profile sweep runs in CI's fuzz-smoke step with a
+  # commit-stable seed. Plus the pinned fuzzer-found repro, replayed so
+  # the budget-rounding contract is exercised under the sanitizers too.
+  add_smoke_test(fuzz tool_fuzz --runs=3 --seed=42
+    --out=${CMAKE_BINARY_DIR}/artifacts/fuzz)
+  add_smoke_test(fuzz_replay tool_fuzz
+    --replay=${PROJECT_SOURCE_DIR}/profiles/fuzz/budget_rounding.json)
   # Distributed path, end to end: the same demo grid as two --shard halves,
   # stitched with --merge, then diffed against the committed golden — the
   # shard/merge round-trip must reproduce the single-process bytes.

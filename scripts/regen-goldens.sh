@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Regenerate the checked-in golden sweep snapshots (goldens/*.{csv,json}).
+# Regenerate the checked-in golden sweep snapshots (goldens/*.{csv,json})
+# from the committed experiment profiles (profiles/*.json).
 #
 # The snapshots pin the exact CSV/JSON output of the frozen golden presets
-# (src/sweep/goldens.cc) at kGoldenSeed. Rerun this ONLY after a deliberate
-# change to provisioning behavior, the util::Rng stream, the sweep output
-# schema, or a preset definition — then commit the moved goldens together
-# with the change and say in the commit message why they moved. A golden
-# diff you cannot explain is a regression, not a reason to regenerate.
+# at kGoldenSeed; the presets themselves are the profiles/*.json documents,
+# embedded into the library at build time (cmake/EmbedProfiles.cmake).
+# Rerun this ONLY after a deliberate change to provisioning behavior, the
+# util::Rng stream, the sweep output schema, or a profile — then commit the
+# moved goldens together with the change and say in the commit message why
+# they moved. A golden diff you cannot explain is a regression, not a
+# reason to regenerate.
 #
 # Usage: scripts/regen-goldens.sh [build-dir] [preset...]
 #   With preset names, only those snapshots are regenerated (a deliberate
@@ -31,19 +34,50 @@ wanted() {
   return 1
 }
 
-# Reject typos up front: every requested preset must exist. (The ${ONLY[@]+}
-# guards keep empty-array expansion working under set -u on bash 3.2.)
+# Reject typos up front: every requested preset must exist as a profile.
+# (The ${ONLY[@]+} guards keep empty-array expansion working under set -u
+# on bash 3.2.)
 for name in ${ONLY[@]+"${ONLY[@]}"}; do
-  "$TOOL" --list-goldens | grep -qx "$name" || {
-    echo "regen-goldens: unknown preset '$name' (see --list-goldens)" >&2
+  [ -f "profiles/$name.json" ] || {
+    echo "regen-goldens: no profiles/$name.json (see --list-goldens)" >&2
     exit 2
   }
 done
+
+# Sanity gates before any snapshot moves:
+#  1. every committed profile must canonicalize to its own bytes
+#     (--dump-profile is the load -> spec -> dump round trip), and its
+#     "name" field must agree with the file stem — the embed shim
+#     (goldens.cc) refuses mismatches, so catch them here with a better
+#     message;
+#  2. the built tool's preset list must match the profiles/ directory,
+#     i.e. the embedded copies are not stale.
+for file in profiles/*.json; do
+  name="$(basename "$file" .json)"
+  grep -q "\"name\": \"$name\"" "$file" || {
+    echo "regen-goldens: $file \"name\" field and file stem disagree" >&2
+    exit 2
+  }
+  "$TOOL" --profile="$file" --dump-profile | cmp -s - "$file" || {
+    echo "regen-goldens: $file is not canonical — rewrite it with" >&2
+    echo "  $TOOL --profile=$file --dump-profile > $file" >&2
+    exit 2
+  }
+done
+diff <("$TOOL" --list-goldens | sort) \
+     <(ls profiles/*.json | xargs -n1 basename | sed 's/\.json$//' | sort) || {
+  echo "regen-goldens: built-in preset list and profiles/ disagree" >&2
+  echo "  (stale build? rerun cmake so EmbedProfiles.cmake re-embeds)" >&2
+  exit 2
+}
 
 mkdir -p goldens
 for name in $("$TOOL" --list-goldens); do
   wanted "$name" || continue
   "$TOOL" --golden="$name" --out="goldens/$name" > /dev/null
+  # Only the final .csv/.json are pinned; drop the streaming sidecars the
+  # results store writes alongside them.
+  rm -f "goldens/$name.jsonl" "goldens/$name.stream.csv"
   echo "regenerated goldens/$name.{csv,json}"
 done
 echo "done — review 'git diff goldens/' before committing"

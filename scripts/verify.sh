@@ -58,6 +58,12 @@ case "$MODE" in
     mkdir -p "$OUT"
     for name in $("$TOOL" --list-goldens); do
       echo "== $name =="
+      if ! "$TOOL" --golden="$name" --dump-profile \
+             | cmp -s - "profiles/${name}.json"; then
+        echo "verify.sh: $name: profiles/${name}.json is not the canonical" \
+             "--dump-profile output" >&2
+        rc=1
+      fi
       "$TOOL" --golden="$name" --threads=1 --out="$OUT/${name}_t1" >/dev/null
       "$TOOL" --golden="$name" --threads="$JOBS" --out="$OUT/${name}_tn" \
         >/dev/null

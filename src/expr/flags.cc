@@ -1,8 +1,32 @@
 #include "expr/flags.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace cloudmedia::expr {
+
+namespace {
+
+/// Plain Levenshtein distance, O(|a|*|b|); flag names are short.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv, bool allow_positionals) {
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +82,31 @@ bool Flags::get(const std::string& key, bool fallback) const {
 std::vector<std::string> Flags::get_all(const std::string& key) const {
   const auto it = values_.find(key);
   return it == values_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void Flags::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, unused] : values_) {
+    (void)unused;
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string message = "unknown flag --" + key;
+    // Suggest close declared names first; a typo is the common case.
+    std::vector<std::string> close;
+    for (const std::string& candidate : known) {
+      if (edit_distance(key, candidate) <= 2) close.push_back(candidate);
+    }
+    if (!close.empty()) {
+      message += " — did you mean ";
+      for (std::size_t i = 0; i < close.size(); ++i) {
+        if (i > 0) message += close.size() == 2 ? " or " : ", ";
+        message += "--" + close[i];
+      }
+      message += "?";
+    }
+    message += " (valid flags:";
+    for (const std::string& candidate : known) message += " --" + candidate;
+    message += ")";
+    throw util::PreconditionError(message);
+  }
 }
 
 }  // namespace cloudmedia::expr

@@ -33,6 +33,14 @@ class Flags {
   /// when the flag is absent).
   [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const;
 
+  /// Declared-flag registry: throw util::PreconditionError if any parsed
+  /// flag is not in `known`. The error names the offending flag, suggests
+  /// the closest declared names ("did you mean --hours?") when one is
+  /// within edit distance 2, and lists every valid flag. Binaries call
+  /// this once, right after construction, so `--serie-stride` dies with a
+  /// teaching message instead of being silently ignored.
+  void require_known(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::vector<std::string>> values_;
   std::vector<std::string> positionals_;

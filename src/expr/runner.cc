@@ -171,6 +171,12 @@ double timeline_envelope_headroom(const std::vector<TimedConfigOp>& timeline,
 
 }  // namespace
 
+void validate_timeline(const ExperimentConfig& config) {
+  ExperimentConfig baseline = config;
+  baseline.timeline.clear();
+  (void)timeline_envelope_headroom(config.timeline, baseline);
+}
+
 double estimated_peak_users(const ExperimentConfig& config) {
   // Little's law at the diurnal peak: peak concurrent population ≈
   // peak arrival rate × mean session duration. Channel peaks are summed
@@ -329,6 +335,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   result.vm_boots = cloud.vm_monitor().total_boots();
   result.vm_shutdowns = cloud.vm_monitor().total_shutdowns();
   result.sim_events = simulator.events_processed();
+  result.final_users = static_cast<long>(
+      cohort_system ? cohort_system->current_users()
+                    : discrete_system->current_users());
+  result.used_cohort_engine = use_cohort;
   return result;
 }
 

@@ -19,6 +19,12 @@ struct ExperimentResult {
   long vm_boots = 0;
   long vm_shutdowns = 0;
   std::uint64_t sim_events = 0;     ///< discrete events the run processed
+  /// Viewers still in the system when the horizon hit. The conservation
+  /// invariant (tool_fuzz) checks arrivals == departures + final_users:
+  /// exact for the discrete engine; the cohort engine rounds its fluid
+  /// mass, so the checker allows it one viewer of slack per cohort.
+  long final_users = 0;
+  bool used_cohort_engine = false;  ///< which core the engine knob picked
 
   // --- summaries over the measurement window ----------------------------
   [[nodiscard]] double mean_quality() const;
@@ -32,6 +38,14 @@ struct ExperimentResult {
   /// sufficiency, the Fig.-4 claim).
   [[nodiscard]] double reserved_covers_used_fraction() const;
 };
+
+/// Dry-run config.timeline against a scratch copy without simulating:
+/// throws the runner's teaching PreconditionError when a timed op touches
+/// a frozen field (mode, engine, channel count, the horizon, ...) or
+/// leaves an invalid workload behind. The same check ExperimentRunner::run
+/// performs before t=0, exposed so profile validation can reject a bad
+/// timeline at load time instead of mid-sweep on a worker thread.
+void validate_timeline(const ExperimentConfig& config);
 
 /// Closed-form peak-population estimate: Σ_c channel_max_rate(c) ×
 /// expected session length. The `auto` engine compares this against

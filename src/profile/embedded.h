@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+namespace cloudmedia::profile {
+
+/// One committed profiles/<name>.json, embedded into the library at build
+/// time by cmake/EmbedProfiles.cmake. The committed JSON files are the
+/// golden presets' single source of truth — embedding (rather than
+/// runtime file loading) keeps golden_presets() hermetic: tests and tools
+/// work from any working directory with no search paths.
+struct EmbeddedProfile {
+  const char* name;  ///< file stem; must equal the profile's "name" field
+  const char* json;  ///< the file's exact bytes
+};
+
+/// Every embedded profile, sorted by name. Defined in the generated
+/// golden_profiles_embed.cc (see the root CMakeLists).
+[[nodiscard]] const std::vector<EmbeddedProfile>& embedded_golden_profiles();
+
+}  // namespace cloudmedia::profile

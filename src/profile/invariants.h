@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "sweep/scenario_catalog.h"
+
+namespace cloudmedia::profile {
+
+/// One broken invariant in one grid cell.
+struct InvariantViolation {
+  std::string invariant;  ///< "conservation", "budget", "quality", "determinism"
+  std::string cell;       ///< GridPoint::label(), "" for sweep-wide checks
+  std::string detail;     ///< the numbers that disagree
+};
+
+/// What check_profile_invariants found. ok() is the fuzzer's pass/fail.
+struct InvariantReport {
+  std::size_t cells = 0;  ///< grid cells executed
+  std::vector<InvariantViolation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// One human-readable line per violation (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the profile's sweep and check the simulator contracts that must
+/// hold for EVERY valid profile, however randomly composed:
+///
+///   conservation — arrivals == departures + viewers still in the system
+///                  at the horizon (exact on the discrete engine; the
+///                  cohort engine rounds fluid mass, so it gets a few
+///                  viewers of slack);
+///   budget       — no billed $/h sample exceeds the largest budget any
+///                  timeline state grants (scenario + overrides + grid
+///                  point, then every timed op applied in fire order);
+///   quality      — every quality sample is finite and in [0, 1];
+///   determinism  — the 1-thread and `comparison_threads`-thread runs
+///                  serialize to byte-identical CSV and JSON.
+///
+/// The checker executes the sweep twice (once per thread count); fuzz
+/// profiles keep horizons short so 25 of these finish in CI smoke time.
+/// `comparison_threads` 0 means hardware.
+[[nodiscard]] InvariantReport check_profile_invariants(
+    const Profile& p, unsigned comparison_threads = 0,
+    const sweep::ScenarioCatalog& catalog = sweep::ScenarioCatalog::global());
+
+}  // namespace cloudmedia::profile

@@ -1,197 +1,70 @@
 #include "sweep/goldens.h"
 
+#include "profile/embedded.h"
 #include "util/check.h"
+#include "util/json.h"
 
 namespace cloudmedia::sweep {
 
 namespace {
 
-GoldenPreset make_preset(std::string name, std::string description,
-                         std::string scenario, double warmup_hours,
-                         double measure_hours) {
+/// Parse one embedded profiles/<name>.json into a preset, enforcing the
+/// golden-layer contract on top of the profile schema: the file stem names
+/// the preset (and its goldens/<name>.{csv,json} snapshots), so stem and
+/// "name" field must agree; every snapshot is generated at kGoldenSeed;
+/// and the description documents what regression the snapshot guards.
+GoldenPreset make_preset(const profile::EmbeddedProfile& embedded) {
   GoldenPreset preset;
-  preset.name = std::move(name);
-  preset.description = std::move(description);
-  preset.spec.scenario = std::move(scenario);
-  preset.spec.base_seed = kGoldenSeed;
-  preset.spec.threads = 0;  // output is thread-count-invariant by contract
-  preset.spec.warmup_hours = warmup_hours;
-  preset.spec.measure_hours = measure_hours;
+  preset.name = embedded.name;
+  util::JsonValue doc;
+  try {
+    doc = util::JsonValue::parse(embedded.json);
+    preset.profile = profile::Profile::from_json(doc);
+  } catch (const std::exception& error) {
+    throw util::PreconditionError("golden profile 'profiles/" + preset.name +
+                                  ".json': " + error.what());
+  }
+  const auto contract = [&preset](const std::string& why) {
+    throw util::PreconditionError("golden profile 'profiles/" + preset.name +
+                                  ".json': " + why);
+  };
+  if (preset.profile.name != preset.name) {
+    contract("its \"name\" field says '" + preset.profile.name +
+             "' but the file stem says '" + preset.name +
+             "' — the stem names the goldens/<name>.{csv,json} snapshots, "
+             "so the two must agree");
+  }
+  if (preset.profile.description.empty()) {
+    contract("needs a \"description\" saying what regression the golden "
+             "snapshot guards");
+  }
+  if (preset.profile.seed != kGoldenSeed) {
+    contract("golden snapshots are generated at seed " +
+             std::to_string(kGoldenSeed) + ", got " +
+             std::to_string(preset.profile.seed) +
+             " (non-golden experiments belong in a profile outside "
+             "profiles/)");
+  }
+  if (!preset.profile.shard.whole()) {
+    contract("a golden profile covers the whole grid; shard with "
+             "`tool_sweep --shard=k/N` at run time instead");
+  }
+  preset.description = preset.profile.description;
+  preset.spec = SweepSpec::from_profile(preset.profile);
   return preset;
 }
 
 std::vector<GoldenPreset> build_presets() {
   std::vector<GoldenPreset> presets;
-
-  // The CI smoke demo grid: the paper's central C/S-vs-P2P comparison under
-  // a flash crowd, at two channel counts.
-  GoldenPreset demo = make_preset(
-      "sweep_demo", "flash-crowd C/S vs P2P demo grid (the CI smoke sweep)",
-      "flash_crowd", 0.25, 1.0);
-  demo.spec.grid.add_axis("channels", {"4", "8"});
-  demo.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(demo));
-
-  // Downsized Fig. 6 family: both deployment modes over the diurnal
-  // baseline, sharing one derived seed (mode is system-side).
-  GoldenPreset fig06 = make_preset(
-      "fig06_modes", "Fig. 6 family: C/S vs P2P on the diurnal baseline",
-      "baseline_diurnal", 0.5, 2.0);
-  fig06.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(fig06));
-
-  // Downsized provisioning-strategy ablation: every strategy faces the
-  // byte-identical workload, so any provisioning change moves a metric.
-  GoldenPreset strategies = make_preset(
-      "ablation_strategies", "provisioning-strategy ablation, shared workload",
-      "baseline_diurnal", 0.5, 2.0);
-  strategies.spec.grid.add_axis(
-      "strategy",
-      {"model", "model-nofloor", "reactive", "static", "seasonal", "clairvoyant"});
-  presets.push_back(std::move(strategies));
-
-  // ------------------------------------------------------------------ figures
-  // One preset per paper figure, each the downsized grid its bench_* binary
-  // runs at paper horizons. The preset horizons are deliberately short: the
-  // golden gate replays every preset twice per commit.
-
-  GoldenPreset fig04 = make_preset(
-      "fig04_provisioning",
-      "Fig. 4: reserved vs used cloud bandwidth, C/S vs P2P", "baseline_diurnal",
-      0.5, 3.0);
-  fig04.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(fig04));
-
-  GoldenPreset fig05 = make_preset(
-      "fig05_quality", "Fig. 5: average streaming quality, C/S vs P2P",
-      "baseline_diurnal", 0.5, 2.5);
-  fig05.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(fig05));
-
-  GoldenPreset fig07 = make_preset(
-      "fig07_bandwidth_scaling",
-      "Fig. 7: provisioned bandwidth vs channel size, C/S vs P2P",
-      "baseline_diurnal", 0.5, 1.5);
-  fig07.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(fig07));
-
-  GoldenPreset fig08 = make_preset(
-      "fig08_storage_utility",
-      "Fig. 8: storage-rental utility across channels (P2P)",
-      "baseline_diurnal", 0.5, 2.0);
-  fig08.spec.grid.add_axis("mode", {"p2p"});
-  presets.push_back(std::move(fig08));
-
-  GoldenPreset fig09 = make_preset(
-      "fig09_vm_utility",
-      "Fig. 9: VM-configuration utility across channels (P2P)",
-      "baseline_diurnal", 0.25, 2.0);
-  fig09.spec.grid.add_axis("mode", {"p2p"});
-  presets.push_back(std::move(fig09));
-
-  GoldenPreset fig10 = make_preset(
-      "fig10_vm_cost", "Fig. 10: overall VM rental cost, C/S vs P2P",
-      "baseline_diurnal", 0.25, 2.0);
-  fig10.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(fig10));
-
-  GoldenPreset fig11 = make_preset(
-      "fig11_peer_sufficiency",
-      "Fig. 11: P2P quality vs peer uplink / streaming-rate ratio",
-      "baseline_diurnal", 0.25, 1.5);
-  fig11.spec.grid.add_axis("mode", {"p2p"});
-  fig11.spec.grid.add_axis("uplink_ratio", {"0.9", "1", "1.2"});
-  presets.push_back(std::move(fig11));
-
-  // ---------------------------------------------------------------- ablations
-
-  GoldenPreset boot = make_preset(
-      "ablation_boot_delay",
-      "VM boot latency sweep (Sec. VI-C), shared workload", "baseline_diurnal",
-      0.25, 1.5);
-  boot.spec.grid.add_axis("mode", {"cs"});
-  boot.spec.grid.add_axis("boot_delay", {"0", "25", "120", "600", "1800"});
-  presets.push_back(std::move(boot));
-
-  GoldenPreset chunk = make_preset(
-      "ablation_chunk_size",
-      "chunk duration T0 sweep over a 100-minute video (footnote 3)",
-      "baseline_diurnal", 0.25, 1.0);
-  chunk.spec.grid.add_axis("mode", {"p2p"});
-  chunk.spec.grid.add_axis("chunk_minutes", {"2.5", "5", "10", "20"});
-  presets.push_back(std::move(chunk));
-
-  GoldenPreset geo = make_preset(
-      "ablation_geo",
-      "geo federation (Sec. VII): consolidated vs per-region deployments",
-      "baseline_diurnal", 0.25, 2.0);
-  geo.spec.grid.add_axis("mode", {"p2p"});
-  geo.spec.grid.add_axis("region", {"global", "asia", "europe", "americas"});
-  presets.push_back(std::move(geo));
-
-  GoldenPreset hetero = make_preset(
-      "ablation_hetero",
-      "peer-uplink spread at fixed mean (Sec. IV-C heterogeneity)",
-      "baseline_diurnal", 0.25, 1.5);
-  hetero.spec.grid.add_axis("mode", {"p2p"});
-  hetero.spec.grid.add_axis("uplink_shape", {"1.5", "3", "8"});
-  presets.push_back(std::move(hetero));
-
-  GoldenPreset p2p_cap = make_preset(
-      "ablation_p2p_cap",
-      "Eqn.-(5) peer-supply cap: literal vs bandwidth-consistent",
-      "baseline_diurnal", 0.25, 1.5);
-  p2p_cap.spec.grid.add_axis("mode", {"p2p"});
-  p2p_cap.spec.grid.add_axis("p2p_cap", {"literal", "bandwidth"});
-  presets.push_back(std::move(p2p_cap));
-
-  GoldenPreset prediction = make_preset(
-      "ablation_prediction",
-      "arrival-rate forecaster sweep driving the controller (Sec. V-B)",
-      "baseline_diurnal", 0.25, 2.0);
-  prediction.spec.grid.add_axis("mode", {"cs"});
-  prediction.spec.grid.add_axis(
-      "forecaster", {"persistence", "moving-average", "holt", "seasonal-ewma",
-                     "holt-winters"});
-  presets.push_back(std::move(prediction));
-
-  // ------------------------------------------------- scenario algebra (PR 5)
-  // Two presets freeze the scenario layer itself: a composite expression
-  // resolved through ScenarioCatalog::resolve (guarding the op-
-  // concatenation semantics) and the richest new primitive (guarding the
-  // catalog growth). Both compare C/S vs P2P so mode stays a shared-seed
-  // system axis.
-
-  GoldenPreset composed = make_preset(
-      "stress_flash_churn",
-      "composed scenario flash_crowd+churn_heavy: spiky arrivals and "
-      "zapping viewers at once, C/S vs P2P",
-      "flash_crowd+churn_heavy", 0.25, 1.0);
-  composed.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(composed));
-
-  GoldenPreset outage = make_preset(
-      "regional_outage",
-      "survivor stack absorbing a failed region's audience on a 55% "
-      "budget slice, C/S vs P2P",
-      "regional_outage", 0.25, 1.0);
-  outage.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(outage));
-
-  // --------------------------------------------- scheduled timeline (PR 6)
-  // Freezes the timed-op machinery end to end: the outage collapses the
-  // config at the hour-1 boundary (first boundary >= 45m) and the recovery
-  // restores the pre-timeline snapshot at hour 2, inside a 3-hour run —
-  // the controller visibly dips and re-converges, and the snapshot pins
-  // both transitions byte-for-byte at any thread count.
-  GoldenPreset transient = make_preset(
-      "outage_transient",
-      "mid-run regional outage at 45m healed by a timed recovery at 90m, "
-      "C/S vs P2P",
-      "regional_outage@45m+recovery@90m", 0.25, 2.75);
-  transient.spec.grid.add_axis("mode", {"cs", "p2p"});
-  presets.push_back(std::move(transient));
-
+  for (const profile::EmbeddedProfile& embedded :
+       profile::embedded_golden_profiles()) {
+    presets.push_back(make_preset(embedded));
+  }
+  if (presets.empty()) {
+    throw util::PreconditionError(
+        "no golden profiles were embedded — profiles/*.json missing at "
+        "build time?");
+  }
   return presets;
 }
 

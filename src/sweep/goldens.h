@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "profile/profile.h"
 #include "sweep/sweep_runner.h"
 
 namespace cloudmedia::sweep {
@@ -13,21 +14,24 @@ namespace cloudmedia::sweep {
 /// tests assert the two stay equal.
 inline constexpr std::uint64_t kGoldenSeed = 42;
 
-/// A named, frozen sweep specification whose CSV/JSON output is checked in
-/// under goldens/<name>.{csv,json}. The spec is the single source of truth
-/// shared by `tool_sweep --golden=<name>`, scripts/regen-goldens.sh, the
-/// golden_test byte-comparison, and CI's threads-1-vs-N diff job.
+/// A named, frozen sweep whose CSV/JSON output is checked in under
+/// goldens/<name>.{csv,json}. Each preset is defined by a committed
+/// profiles/<name>.json (embedded at build time — see profile/embedded.h)
+/// and is the single source of truth shared by `tool_sweep
+/// --golden=<name>`, scripts/regen-goldens.sh, the golden_test
+/// byte-comparison, and CI's threads-1-vs-N diff job.
 ///
-/// Frozen means frozen: changing a preset's grid, horizon, or scenario —
+/// Frozen means frozen: changing a profile's grid, horizon, or scenario —
 /// or anything that perturbs the Rng stream it consumes — invalidates the
 /// snapshot and requires a deliberate scripts/regen-goldens.sh commit.
 struct GoldenPreset {
-  std::string name;         ///< file stem under goldens/
-  std::string description;  ///< what regression the snapshot guards
-  SweepSpec spec;
+  std::string name;           ///< file stem under goldens/ and profiles/
+  std::string description;    ///< what regression the snapshot guards
+  profile::Profile profile;   ///< the declarative definition, as committed
+  SweepSpec spec;             ///< SweepSpec::from_profile(profile)
 };
 
-/// All presets, in regeneration order.
+/// All presets, in regeneration order (sorted by profile file name).
 [[nodiscard]] const std::vector<GoldenPreset>& golden_presets();
 
 /// Lookup by name; throws PreconditionError listing the valid names.

@@ -109,6 +109,13 @@ std::string SweepSpec::spec_hash() const {
   mix(std::to_string(base_seed));
   mix(util::format_number(warmup_hours));
   mix(util::format_number(measure_hours));
+  // Overrides change what every cell computes, so they belong in the hash;
+  // mixing only when present keeps override-free hashes identical to
+  // pre-override builds (shard headers from old runs still merge).
+  for (const auto& [name, value] : overrides) {
+    mix("override:" + name);
+    mix(value);
+  }
   for (const ParamAxis& axis : grid.axes()) {
     mix(axis.name);
     for (const std::string& value : axis.values) mix(value);
@@ -169,6 +176,12 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
     scenario.apply(config);
     config.warmup_hours = spec.warmup_hours;
     config.measure_hours = spec.measure_hours;
+    // Precedence, weakest to strongest: scenario < overrides < customize
+    // < grid point. Overrides are spec-wide constants, so like the
+    // scenario they stay out of the per-run seed.
+    for (const auto& [name, value] : spec.overrides) {
+      apply_parameter(config, name, value);
+    }
     if (spec.customize) spec.customize(config);
     for (const auto& [name, value] : point.coords) {
       apply_parameter(config, name, value);

@@ -9,6 +9,10 @@
 #include "sweep/run_summary.h"
 #include "sweep/scenario_catalog.h"
 
+namespace cloudmedia::profile {
+struct Profile;  // src/profile/profile.h — the declarative JSON schema
+}  // namespace cloudmedia::profile
+
 namespace cloudmedia::sweep {
 
 /// A deterministic `k/N` slice of the flattened grid: shard k owns every
@@ -65,8 +69,17 @@ struct SweepSpec {
   /// slice is schedule-neutral: it changes which cells run here, never
   /// what any cell computes, so shard outputs merge byte-identically.
   ShardSpec shard;
-  /// Extra config tweak applied after the scenario, before the grid point
-  /// (benches use this for knobs that are not grid axes).
+  /// Fixed parameter assignments from the applier registry (the same one
+  /// --grid axes use), applied to every cell after the scenario and before
+  /// the cell's grid coordinates — so an axis beats an override of the
+  /// same parameter. This is how a profile pins engine knobs or budgets
+  /// without adding a one-value axis. Overrides are spec-wide constants:
+  /// like the scenario they never feed per-run seeds, but they do enter
+  /// spec_hash() (they change what the sweep computes).
+  std::vector<std::pair<std::string, std::string>> overrides;
+  /// Extra config tweak applied after the scenario and overrides, before
+  /// the grid point (benches use this for knobs that are not grid axes).
+  /// Code-only: a profile cannot express it, so --dump-profile drops it.
   std::function<void(expr::ExperimentConfig&)> customize;
   /// Streaming sink: when set, every completed row is handed off (with its
   /// global cell index) the moment its run finishes instead of
@@ -75,6 +88,14 @@ struct SweepSpec {
   /// concurrently from worker threads; must be thread-safe. Mutually
   /// exclusive with keep_results (series cannot stream).
   std::function<void(std::size_t cell, RunSummary row)> sink;
+
+  /// THE construction entry point: build a spec from a declarative
+  /// profile (golden presets, tool_sweep in every mode, the figure
+  /// benches, and tool_fuzz all come through here). Validates the profile
+  /// (teaching errors) and copies its declarative fields; execution knobs
+  /// come back at their defaults (threads = 0 — hardware) for the caller
+  /// or apply_flags to set. profile::Profile::from_spec is the inverse.
+  [[nodiscard]] static SweepSpec from_profile(const profile::Profile& p);
 
   /// Read the shared schedule flags — --seed, --threads, --warmup,
   /// --hours, --series-stride, --shard — with the spec's current values

@@ -1,0 +1,284 @@
+// The declarative experiment-profile schema (src/profile/): junk documents
+// are rejected with teaching errors at load time, every committed
+// profiles/*.json byte-round-trips through Profile -> SweepSpec -> Profile,
+// the build-time embedded copies agree with the files on disk, the fuzzer
+// is seed-deterministic, and the pinned fuzzer-found repro under
+// profiles/fuzz/ keeps passing the invariant checker.
+//
+// The profiles directory is baked in at configure time
+// (CLOUDMEDIA_PROFILE_DIR, tests/CMakeLists.txt), so the test runs from any
+// working directory.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expr/flags.h"
+#include "profile/embedded.h"
+#include "profile/fuzzer.h"
+#include "profile/invariants.h"
+#include "profile/profile.h"
+#include "sweep/goldens.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cloudmedia::profile {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string profile_path(const std::string& name) {
+  return std::string(CLOUDMEDIA_PROFILE_DIR) + "/" + name + ".json";
+}
+
+Profile parse(const std::string& text) {
+  return Profile::from_json(util::JsonValue::parse(text));
+}
+
+/// The teaching-error contract: loading `text` must throw a
+/// PreconditionError whose message contains every expected fragment.
+void expect_rejected(const std::string& text,
+                     const std::vector<std::string>& fragments) {
+  try {
+    (void)parse(text);
+    ADD_FAILURE() << "accepted junk profile: " << text;
+  } catch (const util::PreconditionError& error) {
+    const std::string message = error.what();
+    for (const std::string& fragment : fragments) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "error for " << text << " should mention '" << fragment
+          << "', got: " << message;
+    }
+  }
+}
+
+TEST(ProfileSchema, UnknownKeyNamesItselfAndListsValidKeys) {
+  expect_rejected(R"({"scenarios": "baseline_diurnal"})",
+                  {"unknown profile key 'scenarios'", "valid keys:",
+                   "scenario", "seed", "grid", "overrides", "shard"});
+}
+
+TEST(ProfileSchema, WrongTypesAreNamed) {
+  expect_rejected(R"({"scenario": 7})", {"scenario", "expected a string",
+                                         "got a number"});
+  expect_rejected(R"({"warmup_hours": "soon"})",
+                  {"warmup_hours", "expected a number", "got a string"});
+  expect_rejected(R"({"grid": {"mode": ["cs"]}})",
+                  {"grid", "expected an array", "got an object"});
+  expect_rejected(R"({"overrides": ["engine=auto"]})",
+                  {"overrides", "expected an object", "got an array"});
+  expect_rejected(R"([1, 2])", {"must be a JSON object", "got an array"});
+}
+
+TEST(ProfileSchema, HorizonsMustBeFiniteAndPositive) {
+  expect_rejected(R"({"measure_hours": -2})", {"measure_hours", "> 0"});
+  expect_rejected(R"({"measure_hours": 0})", {"measure_hours", "> 0"});
+  expect_rejected(R"({"warmup_hours": -0.5})", {"warmup_hours", ">= 0"});
+}
+
+TEST(ProfileSchema, SeedsRejectNonIntegersAndOverflow) {
+  expect_rejected(R"({"seed": -1})", {"seed", "non-negative integer"});
+  expect_rejected(R"({"seed": 1.5})", {"seed", "non-negative integer"});
+  // 2^53 + epsilon territory: numeric seeds that cannot survive a double
+  // round-trip must point at the decimal-string spelling.
+  expect_rejected(R"({"seed": 18446744073709551615})",
+                  {"seed", "decimal string"});
+  expect_rejected(R"({"seed": "42x"})", {"seed", "not a decimal"});
+  expect_rejected(R"({"seed": "99999999999999999999"})",
+                  {"seed", "64 bits"});
+  EXPECT_EQ(parse(R"({"seed": "18446744073709551615"})").seed,
+            18446744073709551615ull);
+}
+
+TEST(ProfileSchema, MalformedScenarioExpressionsFailAtLoadTime) {
+  EXPECT_THROW((void)parse(R"({"scenario": "no_such_scenario"})"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"scenario": "flash_crowd@notatime"})"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"scenario": "flash_crowd@-5m"})"),
+               util::PreconditionError);
+  // A timed op that mutates a frozen field (channel count) must be caught
+  // by the load-time dry pass, not mid-sweep on a worker thread.
+  EXPECT_THROW((void)parse(R"({"scenario": "long_tail_catalog@30m"})"),
+               util::PreconditionError);
+}
+
+TEST(ProfileSchema, GridAxesAreRegistryValidated) {
+  expect_rejected(R"({"grid": [{"name": "warp", "values": ["9"]}]})",
+                  {"warp"});
+  expect_rejected(R"({"grid": [{"name": "mode"}]})",
+                  {"grid", "values"});
+  expect_rejected(R"({"grid": [{"name": "mode", "values": []}]})",
+                  {"grid", "non-empty"});
+  expect_rejected(
+      R"({"grid": [{"name": "mode", "values": ["cs"], "extra": 1}]})",
+      {"grid", "unknown axis key 'extra'"});
+  // Values may be numbers; they canonicalize through format_number.
+  const Profile p = parse(R"({"grid": [{"name": "channels",
+                                        "values": [8, "12"]}]})");
+  ASSERT_EQ(p.grid.axes().size(), 1u);
+  EXPECT_EQ(p.grid.axes()[0].values,
+            (std::vector<std::string>{"8", "12"}));
+}
+
+TEST(ProfileSchema, OverridesRejectBadParametersAndValues) {
+  EXPECT_THROW((void)parse(R"({"overrides": {"warp": "9"}})"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"overrides": {"mode": "warp"}})"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"overrides": {"chunk_minutes": "-3"}})"),
+               util::PreconditionError);
+}
+
+TEST(ProfileSchema, ShardMustBeAProperSlice) {
+  EXPECT_THROW((void)parse(R"({"shard": "3/2"})"), util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"shard": "2/2"})"), util::PreconditionError);
+  EXPECT_THROW((void)parse(R"({"shard": "banana"})"), util::PreconditionError);
+  const Profile p = parse(R"({"shard": "1/4"})");
+  EXPECT_EQ(p.shard.index, 1u);
+  EXPECT_EQ(p.shard.count, 4u);
+}
+
+TEST(ProfileSchema, SeriesStrideMustBePositiveInteger) {
+  expect_rejected(R"({"series_stride": 0})", {"series_stride"});
+  expect_rejected(R"({"series_stride": 2.5})", {"series_stride"});
+}
+
+TEST(ProfileSchema, DuplicateKeysAreLastWinsAtTheParser) {
+  // util::JsonValue's object semantics: a repeated key overwrites (the
+  // parser dedups before from_json sees the document). Pin it so a parser
+  // change to duplicate-preserving surfaces here, where from_json's own
+  // duplicate guard would start firing.
+  EXPECT_EQ(parse(R"({"seed": "1", "seed": "2"})").seed, 2u);
+}
+
+// Every committed golden profile byte-round-trips: file bytes == embedded
+// copy == to_json(from_json(file)) == the dump after a full trip through
+// SweepSpec::from_profile / Profile::from_spec. This is the property that
+// makes `tool_sweep --dump-profile` a lossless canonicalizer and keeps the
+// goldens regenerable from profiles/*.json alone.
+TEST(ProfileRoundTrip, AllCommittedProfilesAreByteStable) {
+  const std::vector<EmbeddedProfile>& embedded = embedded_golden_profiles();
+  ASSERT_GE(embedded.size(), 19u);
+  for (const EmbeddedProfile& entry : embedded) {
+    SCOPED_TRACE(entry.name);
+    const std::string committed = read_file(profile_path(entry.name));
+    EXPECT_EQ(committed, entry.json)
+        << "embedded copy is stale — rerun cmake (EmbedProfiles.cmake)";
+    const Profile p = parse(committed);
+    EXPECT_EQ(p.name, entry.name)
+        << "profile file stem and \"name\" field disagree";
+    const std::string dumped = p.to_json().dump(2) + "\n";
+    EXPECT_EQ(dumped, committed);
+    const sweep::SweepSpec spec = sweep::SweepSpec::from_profile(p);
+    const Profile back = Profile::from_spec(spec, p.name, p.description);
+    EXPECT_EQ(back.to_json().dump(2) + "\n", committed);
+  }
+}
+
+TEST(ProfileRoundTrip, GoldenPresetsCarryTheirProfile) {
+  for (const sweep::GoldenPreset& preset : sweep::golden_presets()) {
+    SCOPED_TRACE(preset.name);
+    EXPECT_EQ(preset.profile.name, preset.name);
+    EXPECT_EQ(preset.profile.seed, sweep::kGoldenSeed);
+    // The spec is exactly what from_profile builds — no side-channel edits.
+    EXPECT_EQ(Profile::from_spec(preset.spec).to_json().dump(2),
+              Profile::from_spec(
+                  sweep::SweepSpec::from_profile(preset.profile))
+                  .to_json()
+                  .dump(2));
+  }
+}
+
+TEST(FlagsRequireKnown, SuggestsCloseFlagAndListsValid) {
+  const char* argv[] = {"prog", "--sede=7"};
+  const expr::Flags flags(2, argv);
+  try {
+    flags.require_known({"seed", "hours", "out"});
+    FAIL() << "accepted unknown flag --sede";
+  } catch (const util::PreconditionError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown flag --sede"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean --seed?"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("valid flags: --seed --hours --out"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(FlagsRequireKnown, AcceptsDeclaredFlagsAndFarTyposGetNoSuggestion) {
+  const char* argv[] = {"prog", "--seed=7", "--hours=2"};
+  const expr::Flags flags(3, argv);
+  EXPECT_NO_THROW(flags.require_known({"seed", "hours"}));
+  const char* bad[] = {"prog", "--zzzzzzz=1"};
+  const expr::Flags far(2, bad);
+  try {
+    far.require_known({"seed"});
+    FAIL() << "accepted unknown flag --zzzzzzz";
+  } catch (const util::PreconditionError& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Fuzzer, SameSeedComposesIdenticalProfiles) {
+  util::Rng a(12345), b(12345);
+  for (int i = 0; i < 8; ++i) {
+    const Profile pa = random_profile(a);
+    const Profile pb = random_profile(b);
+    EXPECT_EQ(pa.to_json().dump(2), pb.to_json().dump(2));
+  }
+}
+
+TEST(Fuzzer, MinimizeDropsEverythingIrrelevant) {
+  Profile failing;
+  failing.scenario = "flash_crowd+churn_heavy";
+  failing.overrides = {{"vm_budget", "50"}, {"boot_delay", "120"}};
+  failing.grid.add_axis("mode", {"cs", "p2p"});
+  failing.grid.add_axis("strategy", {"model", "static"});
+  // Synthetic oracle: the "failure" only needs the vm_budget override.
+  const auto still_fails = [](const Profile& candidate) {
+    for (const auto& [name, value] : candidate.overrides) {
+      if (name == "vm_budget") return true;
+    }
+    return false;
+  };
+  const Profile minimal = minimize_failing_profile(failing, still_fails);
+  EXPECT_EQ(minimal.scenario, "baseline_diurnal");
+  EXPECT_TRUE(minimal.grid.axes().empty());
+  ASSERT_EQ(minimal.overrides.size(), 1u);
+  EXPECT_EQ(minimal.overrides[0].first, "vm_budget");
+}
+
+// The pinned fuzzer-found repro: a 50 $/h vm budget with the static peak
+// plan bills 50.55 $/h, legal only because the SLA admits one
+// whole-instance rounding per cluster. Replaying it through the checker
+// pins the billing/admission allowance contract (SlaNegotiator::admit) —
+// if the envelope or the broker regress, this fails before tool_fuzz has
+// to rediscover it.
+TEST(FuzzRegression, PinnedBudgetRoundingProfileHoldsAllInvariants) {
+  const Profile p = Profile::load(profile_path("fuzz/budget_rounding"));
+  EXPECT_EQ(p.name, "budget_rounding");
+  const InvariantReport report = check_profile_invariants(p, 2);
+  EXPECT_EQ(report.cells, 1u);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace cloudmedia::profile

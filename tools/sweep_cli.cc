@@ -18,17 +18,33 @@
 //
 // Flags: --scenario=baseline_diurnal (a name or a+b composite)
 //        --grid name=v1,v2 (repeatable)
+//        --set name=value (repeatable; pin a registry parameter for every
+//                          cell — applied after the scenario, before the
+//                          grid point, e.g. --set engine=cohort)
 //        --threads=<hardware> --hours=6 --warmup=1 --seed=42
 //        --shard=k/N (run only this process's slice of the grid)
 //        --out=results/sweep (writes <out>.csv and <out>.json, plus the
 //                             streamed <out>.jsonl / <out>.stream.csv;
 //                             missing parent directories are created)
+//        --profile=<file.json> (load a declarative experiment profile —
+//                               see src/profile/profile.h for the schema;
+//                               other flags apply on top: profile < flags)
+//        --dump-profile (print the effective profile as canonical JSON and
+//                        exit without running; --profile x --dump-profile
+//                        round-trips a canonical file byte-identically,
+//                        which CI checks for every golden preset)
 //        --golden=<preset> (run a frozen golden preset; grid/scenario/seed/
-//                           horizon come from the preset, --threads still
-//                           applies — output must not depend on it)
+//                           horizon come from its profiles/<name>.json,
+//                           --threads still applies — output must not
+//                           depend on it)
 //        --list (print scenarios with their ops, grid parameters, golden
 //                presets and exit)
 //        --list-goldens (print one golden preset name per line, for scripts)
+//
+// Unknown flags are rejected with a did-you-mean suggestion (so
+// --serie-stride teaches instead of being ignored). Precedence, weakest
+// to strongest: profile file < --scenario/--grid/--set < --seed/--warmup/
+// --hours/--threads/--series-stride/--shard.
 //
 // Every figure and ablation of the paper's evaluation is a golden preset
 // (fig04_provisioning ... ablation_prediction, see --list); CI and
@@ -65,6 +81,7 @@
 #include <vector>
 
 #include "expr/flags.h"
+#include "profile/profile.h"
 #include "store/results_store.h"
 #include "store/shard_merge.h"
 #include "sweep/goldens.h"
@@ -125,6 +142,7 @@ int run_diff(int argc, char** argv) {
   }
   const expr::Flags flags(static_cast<int>(rest.size()), rest.data(),
                           /*allow_positionals=*/true);
+  flags.require_known({"tol", "out"});
   if (flags.positionals().size() != 2) {
     std::fprintf(stderr,
                  "usage: tool_sweep --diff a.json b.json [--tol=0] "
@@ -157,6 +175,7 @@ int run_merge(int argc, char** argv) {
   }
   const expr::Flags flags(static_cast<int>(rest.size()), rest.data(),
                           /*allow_positionals=*/true);
+  flags.require_known({});
   if (flags.positionals().size() < 3) {
     std::fprintf(stderr,
                  "usage: tool_sweep --merge <out> shard0.json shard1.json "
@@ -188,6 +207,10 @@ int main(int argc, char** argv) {
   }
 
   const expr::Flags flags(argc, argv);
+  flags.require_known({"list", "help", "list-goldens", "golden", "profile",
+                       "dump-profile", "set", "scenario", "grid", "seed",
+                       "threads", "hours", "warmup", "series-stride", "shard",
+                       "out"});
   if (flags.has("list") || flags.has("help")) {
     print_listing();
     return 0;
@@ -199,30 +222,85 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sweep::SweepSpec spec;
+  // Every mode goes through one declarative Profile: golden preset,
+  // --profile file, or flag-built — then SweepSpec::from_profile is the
+  // single spec constructor and --dump-profile can print any of them.
+  profile::Profile prof;
   std::string default_out = "results/sweep";
   if (flags.has("golden")) {
     const sweep::GoldenPreset& preset =
         sweep::golden_preset(flags.get("golden", std::string()));
-    spec = preset.spec;
+    prof = preset.profile;
     default_out = "results/" + preset.name;
-    std::printf("golden %s: %s\n", preset.name.c_str(),
-                preset.description.c_str());
-    // Only the schedule-neutral knobs are tunable: the preset's grid,
-    // seed, and horizon define the snapshot. Rejecting the rest beats
-    // silently running something other than what the flags claim.
-    // --shard is schedule-neutral by construction (it picks which cells
-    // run here, never what they compute), which is exactly what lets CI
-    // split a golden preset across shards and cmp the merge against the
+    // Only the schedule-neutral knobs are tunable: the preset's profile
+    // defines the snapshot. Rejecting the rest beats silently running
+    // something other than what the flags claim. --shard is
+    // schedule-neutral by construction (it picks which cells run here,
+    // never what they compute), which is exactly what lets CI split a
+    // golden preset across shards and cmp the merge against the
     // committed snapshot.
-    for (const char* frozen : {"scenario", "grid", "seed", "hours", "warmup"}) {
+    for (const char* frozen :
+         {"scenario", "grid", "set", "profile", "seed", "hours", "warmup"}) {
       if (flags.has(frozen)) {
         throw util::PreconditionError(
             std::string("--") + frozen +
-            " conflicts with --golden: the preset freezes it (only "
-            "--threads, --shard and --out apply)");
+            " conflicts with --golden: the preset's profile freezes it "
+            "(only --threads, --shard, --out and --dump-profile apply)");
       }
     }
+  } else {
+    if (flags.has("profile")) {
+      prof = profile::Profile::load(flags.get("profile", std::string()));
+      if (!prof.name.empty()) default_out = "results/" + prof.name;
+    }
+    // Declarative flags fold INTO the profile (profile < flags), so
+    // --dump-profile prints what would actually run: --scenario and
+    // --grid replace their fields, --set pins registry parameters
+    // (last occurrence of a name wins).
+    if (flags.has("scenario")) {
+      prof.scenario = flags.get("scenario", prof.scenario);
+    }
+    if (flags.has("grid")) {
+      prof.grid = sweep::ParamGrid::parse(flags.get_all("grid"));
+    }
+    for (const std::string& assignment : flags.get_all("set")) {
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw util::PreconditionError(
+            "--set takes name=value with a registry parameter name "
+            "(e.g. --set engine=cohort; see --list), got '" + assignment +
+            "'");
+      }
+      const std::string name = assignment.substr(0, eq);
+      const std::string value = assignment.substr(eq + 1);
+      bool replaced = false;
+      for (auto& [existing, existing_value] : prof.overrides) {
+        if (existing == name) {
+          existing_value = value;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) prof.overrides.emplace_back(name, value);
+    }
+  }
+
+  if (flags.has("dump-profile")) {
+    // Canonical round trip, deliberately THROUGH the spec: JSON ->
+    // Profile -> SweepSpec -> Profile -> JSON. cmp'ing the output
+    // against a committed profiles/<name>.json proves the spec layer
+    // loses nothing.
+    const sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
+    const profile::Profile round =
+        profile::Profile::from_spec(spec, prof.name, prof.description);
+    std::fputs((round.to_json().dump(2) + "\n").c_str(), stdout);
+    return 0;
+  }
+
+  sweep::SweepSpec spec = sweep::SweepSpec::from_profile(prof);
+  if (flags.has("golden")) {
+    std::printf("golden %s: %s\n", prof.name.c_str(),
+                prof.description.c_str());
     const long long requested = flags.get_ll("threads", 0);
     if (requested < 0 || requested > 1024) {
       throw util::PreconditionError(
@@ -233,11 +311,7 @@ int main(int argc, char** argv) {
       spec.shard = sweep::ShardSpec::parse(flags.get("shard", std::string()));
     }
   } else {
-    spec.scenario = flags.get("scenario", std::string("baseline_diurnal"));
-    spec.grid = sweep::ParamGrid::parse(flags.get_all("grid"));
-    spec.threads = 0;  // default to hardware
-    spec.warmup_hours = 1.0;
-    spec.measure_hours = 6.0;
+    // Schedule flags override the profile (profile < flags).
     spec.apply_flags(flags);
   }
 
