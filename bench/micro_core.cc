@@ -6,8 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <random>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/capacity.h"
@@ -15,6 +19,7 @@
 #include "core/erlang.h"
 #include "core/jackson.h"
 #include "core/p2p.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "vod/service_pool.h"
@@ -213,6 +218,129 @@ void BM_SimulatorCancelHalf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimulatorCancelHalf)->Arg(1 << 16)->Unit(benchmark::kMicrosecond);
+
+// sim::Callback (48-byte small-buffer type erasure) vs the std::function it
+// replaced in the event ring. The capture below is 40 bytes — typical of
+// the simulator's real events (this + a handle + a couple of doubles) —
+// which fits sim::Callback inline but exceeds std::function's small-object
+// buffer, so the Std variant pays one heap allocation per event. The cycle
+// measured is exactly what schedule_at does: construct from a lambda, move
+// into a slot, invoke, destroy.
+
+void BM_CallbackSBOLifecycle(benchmark::State& state) {
+  double sink = 0.0;
+  const double a = 1.0, b = 2.0, c = 3.0, d = 4.0;
+  for (auto _ : state) {
+    sim::Callback cb([&sink, a, b, c, d] { sink += a + b + c + d; });
+    sim::Callback slot = std::move(cb);  // relocate into the ring
+    slot();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_CallbackSBOLifecycle);
+
+void BM_CallbackSBOLifecycleStd(benchmark::State& state) {
+  double sink = 0.0;
+  const double a = 1.0, b = 2.0, c = 3.0, d = 4.0;
+  for (auto _ : state) {
+    std::function<void()> cb([&sink, a, b, c, d] { sink += a + b + c + d; });
+    std::function<void()> slot = std::move(cb);
+    slot();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_CallbackSBOLifecycleStd);
+
+// Peer storage: the generation-guarded slab StreamingSystem now uses vs
+// the unordered_map<id, Peer> it replaced. The workload mirrors the
+// discrete engine's churn — a stable population where every event resolves
+// its peer by handle/id and each arrival recycles a departed peer's
+// storage. Items processed = peer resolutions.
+
+struct BenchPeer {
+  std::uint64_t id = 0;
+  std::uint32_t generation = 0;
+  bool live = false;
+  double payload[6] = {};
+};
+
+void BM_PeerSlabChurn(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  std::vector<BenchPeer> slab;
+  std::vector<std::uint32_t> free_slots;
+  std::vector<std::uint64_t> handles;
+  std::uint64_t next_id = 1;
+  const auto arrive = [&] {
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slab.size());
+      slab.emplace_back();
+    }
+    BenchPeer& peer = slab[slot];
+    peer.id = next_id++;
+    peer.live = true;
+    peer.payload[0] = static_cast<double>(peer.id);
+    return (static_cast<std::uint64_t>(peer.generation) << 32) | slot;
+  };
+  handles.reserve(population);
+  for (std::size_t i = 0; i < population; ++i) handles.push_back(arrive());
+  double acc = 0.0;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (const std::uint64_t handle : handles) {
+      const auto slot = static_cast<std::uint32_t>(handle & 0xffffffffull);
+      const BenchPeer& peer = slab[slot];
+      if (peer.live &&
+          ((static_cast<std::uint64_t>(peer.generation) << 32) | slot) ==
+              handle) {
+        acc += peer.payload[0];
+      }
+    }
+    const auto slot = static_cast<std::uint32_t>(handles[cursor] & 0xffffffffull);
+    slab[slot].live = false;
+    ++slab[slot].generation;
+    free_slots.push_back(slot);
+    handles[cursor] = arrive();
+    cursor = (cursor + 1) % handles.size();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PeerSlabChurn)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PeerSlabChurnMap(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<std::uint64_t, BenchPeer> peers;
+  std::vector<std::uint64_t> ids;
+  std::uint64_t next_id = 1;
+  const auto arrive = [&] {
+    BenchPeer peer;
+    peer.id = next_id++;
+    peer.live = true;
+    peer.payload[0] = static_cast<double>(peer.id);
+    peers.emplace(peer.id, peer);
+    return peer.id;
+  };
+  ids.reserve(population);
+  for (std::size_t i = 0; i < population; ++i) ids.push_back(arrive());
+  double acc = 0.0;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (const std::uint64_t id : ids) {
+      const auto it = peers.find(id);
+      if (it != peers.end()) acc += it->second.payload[0];
+    }
+    peers.erase(ids[cursor]);
+    ids[cursor] = arrive();
+    cursor = (cursor + 1) % ids.size();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PeerSlabChurnMap)->Arg(1 << 10)->Arg(1 << 14);
 
 // util::Rng sampler cost, new (owned xoshiro256** + specified samplers)
 // vs old (std::mt19937_64 + std::*_distribution, kept here as the

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Verify the tree: configure, build, and run a test tier.
 #
-# Usage: scripts/verify.sh [--smoke | --golden] [build-dir]
+# Usage: scripts/verify.sh [--smoke | --golden | --bench] [build-dir]
 #
 #   (default)  tier-1 verify: the full CTest suite (unit + integration +
 #              smoke) — the gate every commit must pass.
@@ -13,13 +13,18 @@
 #              goldens/ snapshot where one exists; plus the cohort/discrete
 #              engine-equivalence tests and the distributed path —
 #              sweep_demo as two --shard halves, --merge, cmp.
+#   --bench    the three self-gating performance benches CI runs at full
+#              scale: bench_store_smoke (streaming-RSS gates),
+#              bench_cohort_smoke (10M-viewer day), bench_discrete_smoke
+#              (events/s >= 2x the pre-overhaul baseline + RSS cap). Each
+#              writes its BENCH_*.json under <build-dir>/artifacts/.
 #
 # The selected tier's exit code is the script's exit code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 MODE=full
@@ -28,6 +33,7 @@ for arg in "$@"; do
   case "$arg" in
     --smoke) MODE=smoke ;;
     --golden) MODE=golden ;;
+    --bench) MODE=bench ;;
     -h|--help) usage; exit 0 ;;
     -*) echo "verify.sh: unknown option '$arg'" >&2; usage >&2; exit 2 ;;
     *)
@@ -104,6 +110,23 @@ case "$MODE" in
         rc=1
       fi
     done
+    ;;
+  bench)
+    # Same binaries and gates as the CI bench steps: each one exits
+    # non-zero when its own regression gate trips (sanitizer builds skip
+    # the rate/RSS gates but still exercise the paths).
+    OUT="$BUILD_DIR/artifacts"
+    mkdir -p "$OUT"
+    echo "== bench_store_smoke (streaming vs buffered RSS) =="
+    "$BUILD_DIR/bench/bench_store_smoke" \
+      --out="$OUT/BENCH_store.json" \
+      --store-out="$OUT/store_full/run" || rc=1
+    echo "== bench_cohort_smoke (10M-viewer day) =="
+    "$BUILD_DIR/bench/bench_cohort_smoke" \
+      --out="$OUT/BENCH_cohort.json" || rc=1
+    echo "== bench_discrete_smoke (events/s >= 2x baseline) =="
+    "$BUILD_DIR/bench/bench_discrete_smoke" \
+      --out="$OUT/BENCH_discrete.json" || rc=1
     ;;
 esac
 

@@ -8,29 +8,55 @@
 
 namespace cloudmedia::sim {
 
+namespace {
+/// Initial ring capacity; past seeds show even tiny runs keep a few dozen
+/// events in flight (dwell timers + chunk completions), so start there
+/// rather than thrashing the first few doublings.
+constexpr std::size_t kInitialRingSlots = 64;
+}  // namespace
+
 bool Simulator::retired(EventId id) const noexcept {
   if (id < base_) return true;
-  return slots_[static_cast<std::size_t>(id - base_)] == nullptr;
+  return ring_[static_cast<std::size_t>(id) & ring_mask_] == nullptr;
 }
 
 Simulator::Callback Simulator::retire(EventId id) noexcept {
-  Callback fn = std::move(slots_[static_cast<std::size_t>(id - base_)]);
-  slots_[static_cast<std::size_t>(id - base_)] = nullptr;
+  // Callback's move constructor leaves the source disengaged, so the slot
+  // becomes the null tombstone without a separate store.
+  Callback fn = std::move(ring_[static_cast<std::size_t>(id) & ring_mask_]);
   --pending_;
   // Amortized-O(1) compaction keeps the window anchored at the oldest
-  // still-pending id.
-  while (!slots_.empty() && slots_.front() == nullptr) {
-    slots_.pop_front();
+  // still-pending id; every slot it walks past is free for reuse.
+  while (base_ < next_id_ &&
+         ring_[static_cast<std::size_t>(base_) & ring_mask_] == nullptr) {
     ++base_;
   }
   return fn;
 }
 
+void Simulator::grow_ring(std::size_t min_capacity) {
+  std::size_t capacity = ring_.empty() ? kInitialRingSlots : ring_.size() * 2;
+  while (capacity < min_capacity) capacity *= 2;
+  std::vector<Callback> grown(capacity);
+  const std::size_t grown_mask = capacity - 1;
+  for (EventId id = base_; id < next_id_; ++id) {
+    grown[static_cast<std::size_t>(id) & grown_mask] =
+        std::move(ring_[static_cast<std::size_t>(id) & ring_mask_]);
+  }
+  ring_ = std::move(grown);
+  ring_mask_ = grown_mask;
+}
+
 EventId Simulator::schedule_at(double t, Callback fn) {
   CM_EXPECTS(t >= now_);
   CM_EXPECTS(fn != nullptr);
+  // Grow before allocating the id: grow_ring re-seats exactly the ids in
+  // [base_, next_id_), i.e. the slots that have actually been written.
+  if (static_cast<std::size_t>(next_id_ + 1 - base_) > ring_.size()) {
+    grow_ring(static_cast<std::size_t>(next_id_ + 1 - base_));
+  }
   const EventId id = next_id_++;
-  slots_.push_back(std::move(fn));
+  ring_[static_cast<std::size_t>(id) & ring_mask_] = std::move(fn);
   ++pending_;
   heap_.push_back(Entry{t, id});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -46,11 +72,14 @@ EventId Simulator::schedule_bulk(std::vector<std::pair<double, Callback>> batch)
   if (batch.empty()) return kInvalidEvent;
   const EventId first = next_id_;
   heap_.reserve(heap_.size() + batch.size());
+  if (static_cast<std::size_t>(next_id_ - base_) + batch.size() > ring_.size()) {
+    grow_ring(static_cast<std::size_t>(next_id_ - base_) + batch.size());
+  }
   for (auto& [t, fn] : batch) {
     CM_EXPECTS(t >= now_);
     CM_EXPECTS(fn != nullptr);
     const EventId id = next_id_++;
-    slots_.push_back(std::move(fn));
+    ring_[static_cast<std::size_t>(id) & ring_mask_] = std::move(fn);
     ++pending_;
     heap_.push_back(Entry{t, id});
   }

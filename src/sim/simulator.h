@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
+
+#include "sim/callback.h"
 
 namespace cloudmedia::sim {
 
@@ -21,13 +22,21 @@ inline constexpr EventId kInvalidEvent = 0;
 ///
 /// Storage layout, chosen for event throughput (bench/micro_core.cc): the
 /// heap holds trivially-movable (time, id) pairs only, and callbacks live
-/// in a dense id-indexed window (ids are allocated contiguously). cancel()
-/// just nulls the slot — a tombstone the pop loop skips — so the hot
-/// schedule→pop→run path does no hashing and no per-event node allocation.
-/// Measured ~3x the events/s of the previous unordered_map design.
+/// in a power-of-two ring buffer indexed by `id & mask` (ids are allocated
+/// contiguously, so every id in the pending window maps to a distinct
+/// slot). cancel() just nulls the slot — a tombstone the pop loop skips.
+/// Ids themselves are never reused (the FIFO tie-break depends on them
+/// being monotone), but their *slots* are: once an event retires, the ring
+/// position becomes available to a future id with no deallocation, so the
+/// steady-state schedule→pop→run cycle performs no hashing and — with the
+/// small-buffer Callback — no per-event allocation at all. The ring only
+/// grows when the spread between the oldest pending id and the newest
+/// exceeds its capacity.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduled events use the move-only small-buffer callback; every
+  /// capture list the vod layer schedules fits its inline storage.
+  using Callback = sim::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -60,6 +69,12 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Current callback-ring capacity in slots (tests/benches only: pins the
+  /// "slots recycle, ring does not grow with run length" contract).
+  [[nodiscard]] std::size_t callback_ring_capacity() const noexcept {
+    return ring_.size();
+  }
 
   /// Handle controlling a periodic task; destroying the handle does NOT
   /// cancel the task (call cancel()). Copyable (shared control block).
@@ -99,6 +114,9 @@ class Simulator {
   /// Take the callback of a pending event out of its slot (leaving the
   /// null tombstone) and compact the window front.
   Callback retire(EventId id) noexcept;
+  /// Grow the ring to a power of two >= min_capacity, re-seating the
+  /// pending window at the new `id & mask` positions.
+  void grow_ring(std::size_t min_capacity);
 
   double now_ = 0.0;
   EventId next_id_ = 1;
@@ -106,13 +124,15 @@ class Simulator {
   std::size_t pending_ = 0;
   std::vector<Entry> heap_;  ///< std::push_heap/pop_heap with operator>
 
-  // Callback slots for ids in [base_, next_id_), in order; a null slot is
-  // a retired event (ran or cancelled). Ids below base_ are retired, and
-  // their heap entries — if still queued — are skipped as tombstones when
-  // their timestamp pops. The window front compacts as it retires, so
-  // memory tracks the id spread of *pending* events, not the run length.
+  // Callback slots for ids in [base_, next_id_) at ring_[id & ring_mask_];
+  // a null slot is a retired event (ran or cancelled). Ids below base_ are
+  // retired, and their heap entries — if still queued — are skipped as
+  // tombstones when their timestamp pops. base_ compacts forward as the
+  // oldest pending events retire, freeing their ring positions for reuse,
+  // so capacity tracks the id spread of *pending* events, not run length.
   EventId base_ = 1;
-  std::deque<Callback> slots_;
+  std::vector<Callback> ring_;
+  std::size_t ring_mask_ = 0;  ///< ring_.size() - 1 (size is a power of two)
 };
 
 }  // namespace cloudmedia::sim

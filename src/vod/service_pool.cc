@@ -13,6 +13,11 @@ namespace {
 /// Completion tolerance in bytes; pools serve megabyte-scale chunks.
 constexpr double kEpsBytes = 1e-5;
 
+/// Once the dead prefix holds this many entries *and* outnumbers the live
+/// jobs, slide the live tail down. Amortized O(1) per completion; the
+/// floor keeps tiny pools from memmoving on every other event.
+constexpr std::size_t kCompactMinDead = 64;
+
 /// Smallest representable time step from `now` (one double ULP). Work that
 /// would complete within a few of these cannot be scheduled as a future
 /// event — `now + dt` rounds back to `now` and the timer would spin at a
@@ -35,13 +40,13 @@ ServicePool::ServicePool(sim::Simulator& simulator, double per_job_cap,
 }
 
 double ServicePool::per_job_rate() const noexcept {
-  if (jobs_.empty() && fluid_jobs_ <= 0.0) return 0.0;
-  const double n = static_cast<double>(jobs_.size()) + fluid_jobs_;
+  if (active_jobs() == 0 && fluid_jobs_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(active_jobs()) + fluid_jobs_;
   return std::min(per_job_cap_, total_capacity() / n);
 }
 
 double ServicePool::total_rate() const noexcept {
-  return per_job_rate() * (static_cast<double>(jobs_.size()) + fluid_jobs_);
+  return per_job_rate() * (static_cast<double>(active_jobs()) + fluid_jobs_);
 }
 
 double ServicePool::peer_rate() const noexcept {
@@ -55,17 +60,23 @@ double ServicePool::cloud_rate() const noexcept {
 void ServicePool::advance() {
   const double now = sim_->now();
   const double dt = now - last_update_;
-  if (dt > 0.0 && (!jobs_.empty() || fluid_jobs_ > 0.0)) {
+  if (dt > 0.0 && (active_jobs() != 0 || fluid_jobs_ > 0.0)) {
     const double rate = per_job_rate();
     service_level_ += rate * dt;
     const double total =
-        rate * (static_cast<double>(jobs_.size()) + fluid_jobs_);
+        rate * (static_cast<double>(active_jobs()) + fluid_jobs_);
     const double peer = std::min(total, peer_cap_);
     peer_bytes_ += peer * dt;
     cloud_bytes_ += (total - peer) * dt;
   }
   last_update_ = now;
   maybe_rebase();
+}
+
+void ServicePool::compact() {
+  jobs_.erase(jobs_.begin(),
+              jobs_.begin() + static_cast<std::ptrdiff_t>(head_));
+  head_ = 0;
 }
 
 void ServicePool::maybe_rebase() {
@@ -78,21 +89,20 @@ void ServicePool::maybe_rebase() {
   // to zero whenever it is safe or the magnitude approaches the danger
   // zone; at the 1e9 threshold the ULP is ~2.4e-7, two orders below the
   // completion tolerance.
-  if (jobs_.empty()) {
+  if (active_jobs() == 0) {
+    jobs_.clear();
+    head_ = 0;
     service_level_ = 0.0;
     return;
   }
   constexpr double kRebaseThreshold = 1e9;
   if (service_level_ < kRebaseThreshold) return;
   const double base = service_level_;
-  std::map<JobKey, Job> rebased;
-  auto hint = rebased.end();
-  for (const auto& [key, job] : jobs_) {
-    hint = rebased.emplace_hint(hint, JobKey{key.first - base, key.second},
-                                job);
-  }
-  jobs_ = std::move(rebased);
-  for (auto& [id, target] : target_of_) target -= base;
+  // In-place: same doubles, same ascending order as the old map rebuild,
+  // minus the node churn. Dead entries are dropped first so the loop only
+  // touches live jobs.
+  compact();
+  for (JobRec& job : jobs_) job.target -= base;
   service_level_ = 0.0;
 }
 
@@ -103,10 +113,10 @@ void ServicePool::reschedule() {
     sim_->cancel(pending_);
     pending_ = sim::kInvalidEvent;
   }
-  if (jobs_.empty()) return;
+  if (active_jobs() == 0) return;
   const double rate = per_job_rate();
   if (rate <= 0.0) return;  // starved: resumes when capacity returns
-  const double next_target = jobs_.begin()->first.first;
+  const double next_target = jobs_[head_].target;
   double dt = std::max(0.0, (next_target - service_level_) / rate);
   // Defensive progress guarantee: a timer that lands back on `now` (dt
   // below the clock's resolution) would re-run this path forever with a
@@ -126,18 +136,18 @@ void ServicePool::on_timer() {
   // cannot resolve at this rate (see time_quantum above).
   const double eps =
       std::max(kEpsBytes, per_job_rate() * 4.0 * time_quantum(sim_->now()));
-  while (!jobs_.empty() &&
-         jobs_.begin()->first.first <= service_level_ + eps) {
-    const auto it = jobs_.begin();
+  while (head_ < jobs_.size() &&
+         jobs_[head_].target <= service_level_ + eps) {
+    const JobRec& rec = jobs_[head_];
     Completion c;
-    c.job_id = it->first.second;
-    c.tag = it->second.tag;
-    c.enqueue_time = it->second.enqueue_time;
-    c.sojourn = sim_->now() - it->second.enqueue_time;
-    target_of_.erase(c.job_id);
-    jobs_.erase(it);
+    c.job_id = rec.id;
+    c.tag = rec.tag;
+    c.enqueue_time = rec.enqueue_time;
+    c.sojourn = sim_->now() - rec.enqueue_time;
+    ++head_;
     done.push_back(c);
   }
+  if (head_ >= kCompactMinDead && head_ * 2 >= jobs_.size()) compact();
   reschedule();
   // Handlers run on a consistent pool; they may re-enter via add_job.
   for (const Completion& c : done) on_complete_(c);
@@ -164,18 +174,35 @@ std::uint64_t ServicePool::add_job(double bytes, std::uint64_t tag) {
   advance();
   const std::uint64_t id = next_job_id_++;
   const double target = service_level_ + bytes;
-  jobs_.emplace(JobKey{target, id}, Job{tag, sim_->now()});
-  target_of_.emplace(id, target);
+  const JobRec rec{target, id, tag, sim_->now()};
+  if (active_jobs() == 0 || jobs_.back().target <= target) {
+    // Fast path: the new target ties or beats the current maximum, and the
+    // fresh id breaks any tie upward — append keeps (target, id) order.
+    jobs_.push_back(rec);
+  } else {
+    const auto pos = std::upper_bound(
+        jobs_.begin() + static_cast<std::ptrdiff_t>(head_), jobs_.end(), rec,
+        [](const JobRec& a, const JobRec& b) {
+          if (a.target != b.target) return a.target < b.target;
+          return a.id < b.id;
+        });
+    jobs_.insert(pos, rec);
+  }
   reschedule();
   return id;
 }
 
 bool ServicePool::remove_job(std::uint64_t job_id) {
-  const auto it = target_of_.find(job_id);
-  if (it == target_of_.end()) return false;
+  const auto match = [job_id](const JobRec& job) { return job.id == job_id; };
+  auto it = std::find_if(jobs_.begin() + static_cast<std::ptrdiff_t>(head_),
+                         jobs_.end(), match);
+  if (it == jobs_.end()) return false;
   advance();
-  jobs_.erase(JobKey{it->second, job_id});
-  target_of_.erase(it);
+  // advance() may have rebased (which compacts and shifts indices); the job
+  // is still present — rebase never drops live entries — so re-find it.
+  it = std::find_if(jobs_.begin() + static_cast<std::ptrdiff_t>(head_),
+                    jobs_.end(), match);
+  jobs_.erase(it);
   reschedule();
   return true;
 }

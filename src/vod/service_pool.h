@@ -2,8 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/simulator.h"
 
@@ -24,8 +23,14 @@ namespace cloudmedia::vod {
 ///
 /// Implementation: all jobs share one rate, so a job completes when the
 /// pool's cumulative per-job service level reaches (level at enqueue +
-/// chunk bytes). Jobs live in an ordered map keyed by that target, and
-/// only the earliest completion is scheduled — O(log n) per event.
+/// chunk bytes). Jobs live in a vector sorted ascending by (target, id)
+/// with a dead prefix marker: completions just advance `head_` (no erase,
+/// no rebuild), and because chunks in one pool are near-uniform in size,
+/// the common add_job is an O(1) push_back — new targets are almost always
+/// the largest outstanding. The previous design kept a std::map plus a
+/// parallel id→target hash map and paid a node allocation per job and a
+/// full map rebuild per rebase; the vector rebases in place with the same
+/// doubles in the same order, so results are bit-identical.
 class ServicePool {
  public:
   struct Completion {
@@ -62,7 +67,9 @@ class ServicePool {
   void set_fluid_jobs(double jobs);
   [[nodiscard]] double fluid_jobs() const noexcept { return fluid_jobs_; }
 
-  [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t active_jobs() const noexcept {
+    return jobs_.size() - head_;
+  }
   [[nodiscard]] double peer_capacity() const noexcept { return peer_cap_; }
   [[nodiscard]] double cloud_capacity() const noexcept { return cloud_cap_; }
   [[nodiscard]] double total_capacity() const noexcept {
@@ -87,16 +94,19 @@ class ServicePool {
   void sync();
 
  private:
-  struct Job {
+  struct JobRec {
+    double target;         ///< service level at which this job completes
+    std::uint64_t id;
     std::uint64_t tag;
     double enqueue_time;
   };
-  using JobKey = std::pair<double, std::uint64_t>;  ///< (target level, id)
 
   void advance();
   void maybe_rebase();
   void reschedule();
   void on_timer();
+  /// Drop the dead prefix [0, head_) so indices restart at the live jobs.
+  void compact();
 
   sim::Simulator* sim_;
   double per_job_cap_;
@@ -111,8 +121,12 @@ class ServicePool {
   double peer_bytes_ = 0.0;
 
   std::uint64_t next_job_id_ = 1;
-  std::map<JobKey, Job> jobs_;
-  std::unordered_map<std::uint64_t, double> target_of_;
+  // Ascending by (target, id); entries before head_ are completed/removed.
+  // Ids are allocated monotonically, so push_back keeps the order whenever
+  // the new target ties or exceeds the current maximum (the common case:
+  // fixed chunk bytes means targets enqueue in nondecreasing order).
+  std::vector<JobRec> jobs_;
+  std::size_t head_ = 0;
   sim::EventId pending_ = sim::kInvalidEvent;
 };
 

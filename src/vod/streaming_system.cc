@@ -9,6 +9,15 @@
 
 namespace cloudmedia::vod {
 
+namespace {
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+
+std::uint64_t make_handle(std::uint32_t slot, std::uint32_t generation) noexcept {
+  return static_cast<std::uint64_t>(slot) |
+         (static_cast<std::uint64_t>(generation) << 32);
+}
+}  // namespace
+
 StreamingSystem::StreamingSystem(sim::Simulator& simulator,
                                  const workload::Workload& workload,
                                  core::VodParameters params,
@@ -70,6 +79,45 @@ ServicePool& StreamingSystem::pool(int channel, int chunk) {
   return *pools_[pool_index(channel, chunk)];
 }
 
+// --- peer slab -------------------------------------------------------------
+
+std::uint32_t StreamingSystem::slot_of(const Peer& peer) const noexcept {
+  return static_cast<std::uint32_t>(&peer - slab_.data());
+}
+
+std::uint64_t StreamingSystem::peer_handle(const Peer& peer) const noexcept {
+  return make_handle(slot_of(peer), peer.generation);
+}
+
+Peer* StreamingSystem::find_peer_mut(std::uint64_t handle) noexcept {
+  const auto slot = static_cast<std::size_t>(handle & kSlotMask);
+  if (slot >= slab_.size()) return nullptr;
+  Peer& peer = slab_[slot];
+  // Generation guard: a handle taken before the peer departed no longer
+  // matches once the slot is freed (and possibly recycled) — late events
+  // carrying it fall into the same miss path the old map lookup had.
+  if (!peer.live || peer.generation != static_cast<std::uint32_t>(handle >> 32)) {
+    return nullptr;
+  }
+  return &peer;
+}
+
+const Peer* StreamingSystem::find_peer(std::uint64_t handle) const noexcept {
+  return const_cast<StreamingSystem*>(this)->find_peer_mut(handle);
+}
+
+std::vector<std::uint64_t> StreamingSystem::channel_peer_handles(
+    int channel) const {
+  CM_EXPECTS(channel >= 0 && channel < num_channels_);
+  const auto& slots = members_[static_cast<std::size_t>(channel)];
+  std::vector<std::uint64_t> handles;
+  handles.reserve(slots.size());
+  for (const std::uint32_t slot : slots) {
+    handles.push_back(make_handle(slot, slab_[slot].generation));
+  }
+  return handles;  // members_ is id-sorted already
+}
+
 void StreamingSystem::start() {
   CM_EXPECTS(!started_);
   started_ = true;
@@ -119,24 +167,39 @@ void StreamingSystem::handle_arrival(int channel, double time) {
   CM_ENSURES(!script.chunks.empty());
 
   const std::uint64_t id = next_peer_id_++;
-  Peer peer;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();  // LIFO: the hottest slot, still in cache
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Peer& peer = slab_[slot];
+  CM_ENSURES(!peer.live);
   peer.id = id;
   peer.channel = channel;
   peer.uplink = script.uplink;
   peer.arrival_time = time;
-  peer.walk = script.chunks;
+  // assign() (not =) so a recycled slot reuses its walk/owned capacity.
+  peer.walk.assign(script.chunks.begin(), script.chunks.end());
+  peer.position = 0;
   peer.owned.assign(static_cast<std::size_t>(num_chunks_), false);
+  peer.last_late = -1e300;
+  peer.downloading = false;
+  peer.download_start = 0.0;
+  peer.job_id = 0;
+  peer.live = true;  // generation was bumped when the slot was freed
+  members_[ch].push_back(slot);  // id is the largest yet: stays sorted
+  ++live_peers_;
   const int entry = peer.walk.front();
 
-  members_[ch].insert(id);
   uplink_sum_[ch] += peer.uplink;
   ++position_count_[ch][static_cast<std::size_t>(entry)];
   tracker_.record_arrival(channel, entry);
   ++metrics_.counters.arrivals;
 
-  auto [it, inserted] = peers_.emplace(id, std::move(peer));
-  CM_ENSURES(inserted);
-  begin_chunk(it->second);
+  begin_chunk(peer);
 
   schedule_next_arrival(channel);
 }
@@ -146,9 +209,9 @@ void StreamingSystem::begin_chunk(Peer& peer) {
   if (peer.owned[static_cast<std::size_t>(chunk)]) {
     // Replay from the local buffer: instant retrieval, watch for T0.
     ++metrics_.counters.buffered_replays;
-    const std::uint64_t id = peer.id;
+    const std::uint64_t handle = peer_handle(peer);
     sim_->schedule_in(params_.chunk_duration,
-                      [this, id] { handle_dwell_end(id); });
+                      [this, handle] { handle_dwell_end(handle); });
     return;
   }
   // Sec. V-B admission path: with insufficient peer supply (no overlay
@@ -169,14 +232,15 @@ void StreamingSystem::begin_chunk(Peer& peer) {
   }
   peer.downloading = true;
   peer.download_start = sim_->now();
-  peer.job_id = pool(peer.channel, chunk).add_job(params_.chunk_bytes(), peer.id);
+  peer.job_id =
+      pool(peer.channel, chunk).add_job(params_.chunk_bytes(), peer_handle(peer));
 }
 
 void StreamingSystem::handle_completion(int channel, int chunk,
                                         const ServicePool::Completion& completion) {
-  const auto it = peers_.find(completion.tag);
-  if (it == peers_.end()) return;  // departed with an aborted job
-  Peer& peer = it->second;
+  Peer* found = find_peer_mut(completion.tag);
+  if (found == nullptr) return;  // departed with an aborted job
+  Peer& peer = *found;
   CM_ENSURES(peer.channel == channel);
   CM_ENSURES(peer.walk[peer.position] == chunk);
 
@@ -198,14 +262,14 @@ void StreamingSystem::handle_completion(int channel, int chunk,
   // the dwell in this position is max(T0, sojourn) from download start.
   const double dwell_end =
       std::max(completion.enqueue_time + params_.chunk_duration, sim_->now());
-  const std::uint64_t id = peer.id;
-  sim_->schedule_at(dwell_end, [this, id] { handle_dwell_end(id); });
+  const std::uint64_t handle = completion.tag;
+  sim_->schedule_at(dwell_end, [this, handle] { handle_dwell_end(handle); });
 }
 
-void StreamingSystem::handle_dwell_end(std::uint64_t peer_id) {
-  const auto it = peers_.find(peer_id);
-  if (it == peers_.end()) return;
-  advance_walk(it->second);
+void StreamingSystem::handle_dwell_end(std::uint64_t handle) {
+  Peer* peer = find_peer_mut(handle);
+  if (peer == nullptr) return;
+  advance_walk(*peer);
 }
 
 void StreamingSystem::advance_walk(Peer& peer) {
@@ -240,26 +304,44 @@ void StreamingSystem::depart(Peer& peer) {
     }
   }
   uplink_sum_[ch] -= peer.uplink;
-  members_[ch].erase(peer.id);
+
+  // Erase from the channel's id-sorted member vector (binary search on
+  // the monotone peer id; the memmove is cheap next to a per-tick sort).
+  std::vector<std::uint32_t>& members = members_[ch];
+  const auto it = std::lower_bound(
+      members.begin(), members.end(), peer.id,
+      [this](std::uint32_t slot, std::uint64_t id) { return slab_[slot].id < id; });
+  CM_ENSURES(it != members.end() && slab_[*it].id == peer.id);
+  members.erase(it);
+
   ++metrics_.counters.departures;
-  peers_.erase(peer.id);
+
+  // Free the slot: bump the generation so outstanding handles (pending
+  // dwell events, aborted pool jobs) go stale; walk/owned keep their
+  // capacity for the next occupant.
+  peer.live = false;
+  ++peer.generation;
+  free_slots_.push_back(slot_of(peer));
+  --live_peers_;
 }
 
 std::size_t StreamingSystem::evict_channel(int channel) {
   CM_EXPECTS(channel >= 0 && channel < num_channels_);
   const auto ch = static_cast<std::size_t>(channel);
-  std::vector<std::uint64_t> ids(members_[ch].begin(), members_[ch].end());
-  std::sort(ids.begin(), ids.end());  // hash-set order is not deterministic
-  for (std::uint64_t id : ids) {
-    Peer& peer = peers_.at(id);
+  // Snapshot: members_ is kept sorted by peer id, so this is already the
+  // ascending-id order the old sorted-id map walk produced; depart()
+  // mutates the member vector underneath the loop.
+  const std::vector<std::uint32_t> slots = members_[ch];
+  for (const std::uint32_t slot : slots) {
+    Peer& peer = slab_[slot];
     const int current = peer.walk[peer.position];
     --position_count_[ch][static_cast<std::size_t>(current)];
     tracker_.record_transition(channel, current, std::nullopt);
     depart(peer);
   }
-  // Pending dwell/completion events for evicted peers fire into the peer
-  // map's miss path and are ignored.
-  return ids.size();
+  // Pending dwell/completion events for evicted peers carry stale
+  // generations and are ignored when they fire.
+  return slots.size();
 }
 
 double StreamingSystem::uplink_sum(int channel) const {
@@ -379,8 +461,15 @@ void StreamingSystem::rebalance_capacity() {
   //    active demand (Sec. IV-C), residual split as standby over owned
   //    chunks.
   const double r = params_.streaming_rate;
-  std::vector<std::uint64_t> channel_peers;
   std::vector<double> remaining;
+  std::vector<double> standby_share;
+  // owners_by_chunk[ck] = member indices (ascending) owning chunk ck,
+  // rebuilt per channel in one pass over each peer's bitmap. The waterfall
+  // then touches only actual owners instead of re-scanning every member's
+  // bitmap for every chunk — the float sums still accumulate in ascending
+  // member order, so they are bit-identical to the full filtered scans.
+  std::vector<std::vector<std::uint32_t>> owners_by_chunk(
+      static_cast<std::size_t>(num_chunks_));
 
   for (int c = 0; c < num_channels_; ++c) {
     const auto ch = static_cast<std::size_t>(c);
@@ -408,12 +497,22 @@ void StreamingSystem::rebalance_capacity() {
     // --- peer share: rarest-first waterfall (P2P only) ------------------
     std::vector<double> peer_alloc(static_cast<std::size_t>(num_chunks_), 0.0);
     if (options_.mode == core::StreamingMode::kP2p && !members_[ch].empty()) {
-      channel_peers.assign(members_[ch].begin(), members_[ch].end());
-      // Deterministic iteration order regardless of hash-set layout.
-      std::sort(channel_peers.begin(), channel_peers.end());
-      remaining.assign(channel_peers.size(), 0.0);
-      for (std::size_t p = 0; p < channel_peers.size(); ++p) {
-        remaining[p] = peers_.at(channel_peers[p]).uplink;
+      // members_ is sorted by ascending peer id — the deterministic order
+      // every float summation below accumulates in.
+      const std::vector<std::uint32_t>& channel_slots = members_[ch];
+      const std::size_t n = channel_slots.size();
+      remaining.assign(n, 0.0);
+      standby_share.assign(n, 0.0);
+      for (auto& owners : owners_by_chunk) owners.clear();
+      for (std::size_t p = 0; p < n; ++p) {
+        const Peer& peer = slab_[channel_slots[p]];
+        remaining[p] = peer.uplink;
+        for (int i = 0; i < num_chunks_; ++i) {
+          if (peer.owned[static_cast<std::size_t>(i)]) {
+            owners_by_chunk[static_cast<std::size_t>(i)].push_back(
+                static_cast<std::uint32_t>(p));
+          }
+        }
       }
 
       // Chunks by rareness (ascending owner count).
@@ -429,30 +528,33 @@ void StreamingSystem::rebalance_capacity() {
         const double demand =
             static_cast<double>(pools_[pool_index(c, chunk)]->active_jobs()) * r;
         if (demand <= 0.0 || owner_count_[ch][ck] == 0) continue;
+        const std::vector<std::uint32_t>& owners = owners_by_chunk[ck];
         double available = 0.0;
-        for (std::size_t p = 0; p < channel_peers.size(); ++p) {
-          if (peers_.at(channel_peers[p]).owned[ck]) available += remaining[p];
-        }
+        for (const std::uint32_t p : owners) available += remaining[p];
         if (available <= 0.0) continue;
         const double supply = std::min(demand, available);
         const double keep = 1.0 - supply / available;
-        for (std::size_t p = 0; p < channel_peers.size(); ++p) {
-          if (peers_.at(channel_peers[p]).owned[ck]) remaining[p] *= keep;
-        }
+        for (const std::uint32_t p : owners) remaining[p] *= keep;
         peer_alloc[ck] = supply;
       }
 
       // Standby: split each peer's residual upload evenly over its chunks.
-      for (std::size_t p = 0; p < channel_peers.size(); ++p) {
+      // share = remaining / owned-count is fixed per peer here, so adding
+      // it chunk-major through the owner lists reproduces the peer-major
+      // scan exactly (per chunk, contributions still arrive in ascending
+      // member order).
+      for (std::size_t p = 0; p < n; ++p) {
+        standby_share[p] = 0.0;
         if (remaining[p] <= 0.0) continue;
-        const Peer& peer = peers_.at(channel_peers[p]);
+        const Peer& peer = slab_[channel_slots[p]];
         const int owned = std::accumulate(peer.owned.begin(), peer.owned.end(), 0);
         if (owned == 0) continue;
-        const double share = remaining[p] / static_cast<double>(owned);
-        for (int i = 0; i < num_chunks_; ++i) {
-          if (peer.owned[static_cast<std::size_t>(i)]) {
-            peer_alloc[static_cast<std::size_t>(i)] += share;
-          }
+        standby_share[p] = remaining[p] / static_cast<double>(owned);
+      }
+      for (int i = 0; i < num_chunks_; ++i) {
+        const auto ck = static_cast<std::size_t>(i);
+        for (const std::uint32_t p : owners_by_chunk[ck]) {
+          if (standby_share[p] != 0.0) peer_alloc[ck] += standby_share[p];
         }
       }
     }
@@ -484,7 +586,7 @@ void StreamingSystem::sample_bandwidth(double now) {
   metrics_.reserved_mbps.add(now, util::to_mbps(cloud_->reserved_bandwidth()));
   metrics_.used_cloud_mbps.add(now, util::to_mbps(cloud_rate_now()));
   metrics_.used_peer_mbps.add(now, util::to_mbps(peer_rate_now()));
-  metrics_.concurrent_users.add(now, static_cast<double>(peers_.size()));
+  metrics_.concurrent_users.add(now, static_cast<double>(live_peers_));
   for (int c = 0; c < num_channels_; ++c) {
     metrics_.channels[static_cast<std::size_t>(c)].size.add(
         now, static_cast<double>(members_[static_cast<std::size_t>(c)].size()));
@@ -502,20 +604,20 @@ bool StreamingSystem::peer_is_smooth(const Peer& peer) const {
 }
 
 double StreamingSystem::system_quality_now() const {
-  if (peers_.empty()) return 1.0;
+  if (live_peers_ == 0) return 1.0;
   std::size_t smooth = 0;
-  for (const auto& [id, peer] : peers_) {
-    if (peer_is_smooth(peer)) ++smooth;
+  for (const Peer& peer : slab_) {
+    if (peer.live && peer_is_smooth(peer)) ++smooth;
   }
-  return static_cast<double>(smooth) / static_cast<double>(peers_.size());
+  return static_cast<double>(smooth) / static_cast<double>(live_peers_);
 }
 
 double StreamingSystem::channel_quality_now(int channel) const {
   const auto ch = static_cast<std::size_t>(channel);
   if (members_[ch].empty()) return 1.0;
   std::size_t smooth = 0;
-  for (std::uint64_t id : members_[ch]) {
-    if (peer_is_smooth(peers_.at(id))) ++smooth;
+  for (const std::uint32_t slot : members_[ch]) {
+    if (peer_is_smooth(slab_[slot])) ++smooth;
   }
   return static_cast<double>(smooth) / static_cast<double>(members_[ch].size());
 }

@@ -1,8 +1,7 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cloud/cloud_service.h"
@@ -48,6 +47,12 @@ struct StreamingOptions {
 
 /// One peer (VoD user). Owned chunks stay buffered until departure
 /// (Sec. III-B: the playback buffer caches any one video entirely).
+///
+/// Peers live in a slab (see StreamingSystem): the object is recycled
+/// across sessions — `id` is the stable monotone public identity, while
+/// `generation`/`live` are slab bookkeeping. `walk` and `owned` keep
+/// their capacity across reuse, so steady-state arrivals allocate
+/// nothing.
 struct Peer {
   std::uint64_t id = 0;
   int channel = 0;
@@ -60,6 +65,10 @@ struct Peer {
   bool downloading = false;
   double download_start = 0.0;
   std::uint64_t job_id = 0;     ///< in-flight pool job (when downloading)
+
+  // --- slab bookkeeping (maintained by StreamingSystem) ----------------
+  std::uint32_t generation = 0; ///< bumped on free; stale handles miss
+  bool live = false;
 };
 
 /// Per-channel metric series (the scatter sources for Figs. 6–9).
@@ -104,6 +113,18 @@ struct SystemMetrics {
 /// The full CloudMedia system (Fig. 3): user swarms and P2P overlays on one
 /// side, the cloud infrastructure on the other, the tracker + controller
 /// loop in between. Deterministic for a given Workload seed.
+///
+/// Peer storage is a generation-guarded slab (the same pattern as
+/// CohortSystem's SoA arena): peers occupy recycled slots in one
+/// contiguous vector, each channel keeps a dense vector of member slots
+/// sorted by peer id, and every scheduled event or pool job tags
+/// the peer by handle = slot | (generation << 32). A handle from a
+/// departed session fails the generation check and the event is dropped —
+/// the same miss semantics the old unordered_map gave, without any
+/// hashing on the arrival/completion/dwell hot path. Public peer `id`s
+/// remain monotone and are what every order-sensitive path (eviction,
+/// rarest-first rebalance) sorts by, so iteration order — and therefore
+/// every float summation — is explicit rather than hash-layout-accidental.
 class StreamingSystem {
  public:
   StreamingSystem(sim::Simulator& simulator, const workload::Workload& workload,
@@ -119,7 +140,7 @@ class StreamingSystem {
   [[nodiscard]] SystemMetrics& metrics() noexcept { return metrics_; }
 
   // --- introspection (tests, benches) -----------------------------------
-  [[nodiscard]] std::size_t current_users() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::size_t current_users() const noexcept { return live_peers_; }
   [[nodiscard]] std::size_t channel_users(int channel) const;
   [[nodiscard]] int owner_count(int channel, int chunk) const;
   [[nodiscard]] int position_count(int channel, int chunk) const;
@@ -141,10 +162,23 @@ class StreamingSystem {
   /// Sum of instantaneous cloud rates across pools (bytes/s).
   [[nodiscard]] double cloud_rate_now() const;
   [[nodiscard]] double peer_rate_now() const;
-  [[nodiscard]] const std::unordered_map<std::uint64_t, Peer>& peers()
-      const noexcept {
-    return peers_;
+
+  /// Visit every live peer (slab order — ascending slot, not id).
+  template <typename Fn>
+  void for_each_peer(Fn&& fn) const {
+    for (const Peer& peer : slab_) {
+      if (peer.live) fn(peer);
+    }
   }
+  /// Resolve a generation-guarded peer handle; nullptr if the peer has
+  /// departed (even when its slot has since been recycled).
+  [[nodiscard]] const Peer* find_peer(std::uint64_t handle) const noexcept;
+  /// The handle events/pool jobs carry for `peer` in its current session.
+  [[nodiscard]] std::uint64_t peer_handle(const Peer& peer) const noexcept;
+  /// Member handles of `channel`, sorted by monotone peer id — the
+  /// deterministic order eviction and the rarest-first rebalance use.
+  [[nodiscard]] std::vector<std::uint64_t> channel_peer_handles(int channel) const;
+
   [[nodiscard]] double uplink_sum(int channel) const;
 
   /// Force every current member of `channel` to leave immediately —
@@ -175,9 +209,12 @@ class StreamingSystem {
   void begin_chunk(Peer& peer);
   void handle_completion(int channel, int chunk,
                          const ServicePool::Completion& completion);
-  void handle_dwell_end(std::uint64_t peer_id);
+  void handle_dwell_end(std::uint64_t handle);
   void advance_walk(Peer& peer);
   void depart(Peer& peer);
+
+  [[nodiscard]] Peer* find_peer_mut(std::uint64_t handle) noexcept;
+  [[nodiscard]] std::uint32_t slot_of(const Peer& peer) const noexcept;
 
   void run_provisioning(double now);
   void apply_plan(const core::ProvisioningPlan& plan);
@@ -205,8 +242,16 @@ class StreamingSystem {
 
   Tracker tracker_;
   cloud::EntryPoint entry_point_;
-  std::unordered_map<std::uint64_t, Peer> peers_;
-  std::vector<std::unordered_set<std::uint64_t>> members_;  ///< per channel
+
+  // Peer slab: slot-indexed, LIFO free list, generation-guarded handles
+  // (see the class comment). members_ holds each channel's live slots
+  // sorted by ascending peer id: arrivals append (ids are monotone, so the
+  // back is always the largest) and departures binary-search-erase, which
+  // keeps the rebalance/eviction iteration order free — no per-tick sort.
+  std::vector<Peer> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_peers_ = 0;
+  std::vector<std::vector<std::uint32_t>> members_;         ///< per channel
   std::vector<std::vector<int>> owner_count_;               ///< [channel][chunk]
   std::vector<std::vector<int>> position_count_;            ///< [channel][chunk]
   std::vector<double> uplink_sum_;                          ///< per channel

@@ -80,6 +80,15 @@ class DiurnalPattern {
 
 /// Non-homogeneous Poisson arrival stream via thinning. Deterministic for
 /// a given Rng stream regardless of how the caller interleaves other draws.
+///
+/// Sampling is batched: the (envelope gap, acceptance) draw pairs are
+/// pre-drawn from the owned Rng in chunks, in exactly the alternating
+/// order the unbatched thinning loop consumed them — every value is the
+/// same double from the same stream position, so arrival times are
+/// bit-identical while the hot next_after() path reduces to buffer reads
+/// plus the (lazy, never pre-evaluated) rate lookup. rate(t) stays lazy on
+/// purpose: timed scenario ops may retune the rate function mid-run, and
+/// only the *candidate evaluation time* decides what they see.
 class PoissonArrivals {
  public:
   /// rate(t) must be <= max_rate for all t; max_rate > 0.
@@ -90,9 +99,19 @@ class PoissonArrivals {
   [[nodiscard]] double next_after(double t);
 
  private:
+  /// One thinning iteration's worth of randomness, pre-drawn.
+  struct Draw {
+    double gap;     ///< exponential envelope inter-candidate gap
+    double accept;  ///< uniform acceptance variate
+  };
+
+  void refill();
+
   std::function<double(double)> rate_;
   double max_rate_;
   util::Rng rng_;
+  std::vector<Draw> draws_;   ///< pre-drawn chunk (draw-order-preserving)
+  std::size_t cursor_ = 0;    ///< next unconsumed entry in draws_
 };
 
 }  // namespace cloudmedia::workload

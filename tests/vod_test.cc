@@ -299,6 +299,41 @@ TEST(ServicePool, FluidJobsRejectInvalidValues) {
   EXPECT_THROW(h.pool.set_fluid_jobs(-1.0), util::PreconditionError);
 }
 
+TEST(ServicePool, MidWindowJoinersSurviveRebaseWithFluidLoad) {
+  // Regression for the rebase/mid-window interaction: jobs that join while
+  // earlier jobs are in flight carry absolute targets (enqueue level +
+  // bytes), and a rebase must shift *every* outstanding target by the same
+  // base exactly once — including jobs added mid-window and while fluid
+  // load sits in the processor-sharing denominator. Byte volumes here are
+  // chosen so the run crosses the 1e9 rebase threshold mid-flight: if the
+  // rebase mis-shifted any joiner's target, its completion time would move
+  // by ~1e9/rate seconds, not nanoseconds.
+  PoolHarness h(1e12);  // no per-job cap: rate = capacity / n
+  h.pool.set_capacity(0.0, 1e9);
+  h.pool.add_job(8e8, 1);                                 // alone: 1e9 B/s
+  h.sim.schedule_at(0.4, [&] { h.pool.add_job(8e8, 2); });  // level 4e8
+  h.sim.schedule_at(0.8, [&] { h.pool.set_fluid_jobs(2.0); });
+  // Joins mid-window at the rebase boundary (level ≈ 1e9).
+  h.sim.schedule_at(2.2, [&] { h.pool.add_job(3e8, 3); });
+  h.sim.run_all();
+
+  ASSERT_EQ(h.done.size(), 3u);
+  // Job 1: 1e9 B/s for 0.4 s, 5e8 B/s for 0.4 s (job 2 joins), 2.5e8 B/s
+  // once 2 fluid jobs join at t = 0.8 -> 8e8 bytes done at t = 1.6.
+  EXPECT_EQ(h.done[0].tag, 1u);
+  EXPECT_NEAR(h.done[0].sojourn, 1.6, 1e-6);
+  // Job 2 (target 1.2e9, past the threshold): shares as above, then runs
+  // with 2 fluid jobs at 1e9/3 B/s from 1.6 to 2.2, at 2.5e8 B/s after
+  // job 3 joins -> completes at t = 3.0 (sojourn 2.6). The rebase fires
+  // during this stretch; its completion must not move.
+  EXPECT_EQ(h.done[1].tag, 2u);
+  EXPECT_NEAR(h.done[1].sojourn, 2.6, 1e-6);
+  // Job 3 joined mid-window right at the threshold: 2.5e8 B/s until job 2
+  // finishes, then 1e9/3 B/s for the last 1e8 bytes -> done at t = 3.3.
+  EXPECT_EQ(h.done[2].tag, 3u);
+  EXPECT_NEAR(h.done[2].sojourn, 1.1, 1e-6);
+}
+
 // --------------------------------------------------------------- Tracker
 
 TEST(Tracker, CountsArrivalsAndTransitions) {
@@ -474,9 +509,8 @@ TEST(StreamingSystem, DepartWhileDownloadingAbortsPoolJob) {
   // Precondition: every present peer is stuck mid-download holding a job.
   ASSERT_GT(h.system.current_users(), 0u);
   std::size_t downloading = 0;
-  for (const auto& [id, peer] : h.system.peers()) {
-    downloading += peer.downloading ? 1u : 0u;
-  }
+  h.system.for_each_peer(
+      [&](const Peer& peer) { downloading += peer.downloading ? 1u : 0u; });
   EXPECT_EQ(downloading, h.system.current_users());
   const auto pool_jobs = [&] {
     std::size_t jobs = 0;
@@ -534,7 +568,7 @@ TEST(StreamingSystem, ConservationInvariantsAfterGoldenPresetRun) {
   std::vector<std::vector<long>> at_position = owned;
   std::vector<double> uplink(static_cast<std::size_t>(channels), 0.0);
   std::vector<std::size_t> members(static_cast<std::size_t>(channels), 0);
-  for (const auto& [id, peer] : h.system.peers()) {
+  h.system.for_each_peer([&](const Peer& peer) {
     const auto ch = static_cast<std::size_t>(peer.channel);
     ++members[ch];
     uplink[ch] += peer.uplink;
@@ -543,7 +577,7 @@ TEST(StreamingSystem, ConservationInvariantsAfterGoldenPresetRun) {
       owned[ch][static_cast<std::size_t>(j)] +=
           peer.owned[static_cast<std::size_t>(j)] ? 1 : 0;
     }
-  }
+  });
   for (int c = 0; c < channels; ++c) {
     const auto ch = static_cast<std::size_t>(c);
     EXPECT_EQ(h.system.channel_users(c), members[ch]);
@@ -554,6 +588,113 @@ TEST(StreamingSystem, ConservationInvariantsAfterGoldenPresetRun) {
                 owned[ch][static_cast<std::size_t>(j)]);
       EXPECT_EQ(h.system.position_count(c, j),
                 at_position[ch][static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(StreamingSystem, GenerationGuardRejectsStaleHandlesAfterSlotReuse) {
+  // The peer slab recycles slots through a LIFO free list, so a handle
+  // held across a departure points at storage the next arrival will
+  // reuse. The generation stamp in the handle's high 32 bits must make
+  // every such stale handle miss — exactly the semantics the old
+  // unordered_map::find gave for an erased id.
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  cfg.workload.num_channels = 2;
+  cfg.workload.total_arrival_rate = 0.05;
+  cfg.workload.diurnal = workload::DiurnalPattern::flat();
+  cfg.seed = 11;
+
+  StreamingOptions options;
+  options.mode = core::StreamingMode::kClientServer;
+  options.bootstrap_plan = false;  // no capacity: peers stall, none depart
+
+  SystemHarness h(cfg, options,
+                  model_policy(cfg, core::StreamingMode::kClientServer));
+  h.system.start();
+  h.sim.run_until(1800.0);
+  ASSERT_GT(h.system.current_users(), 0u);
+
+  // Live handles resolve to their peer.
+  std::vector<std::uint64_t> old_handles;
+  h.system.for_each_peer([&](const Peer& peer) {
+    const std::uint64_t handle = h.system.peer_handle(peer);
+    const Peer* found = h.system.find_peer(handle);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, peer.id);
+    old_handles.push_back(handle);
+  });
+
+  // Evict everyone: every held handle must now miss.
+  for (int c = 0; c < cfg.workload.num_channels; ++c) h.system.evict_channel(c);
+  ASSERT_EQ(h.system.current_users(), 0u);
+  for (const std::uint64_t handle : old_handles) {
+    EXPECT_EQ(h.system.find_peer(handle), nullptr);
+  }
+
+  // Let fresh arrivals recycle the freed slots (LIFO free list: they are
+  // reused before the slab ever grows).
+  h.sim.run_until(5400.0);
+  ASSERT_GT(h.system.current_users(), 0u);
+
+  constexpr std::uint64_t kSlotMask = 0xffffffffull;
+  std::size_t recycled = 0;
+  h.system.for_each_peer([&](const Peer& peer) {
+    const std::uint64_t handle = h.system.peer_handle(peer);
+    const Peer* found = h.system.find_peer(handle);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, peer.id);
+    for (const std::uint64_t stale : old_handles) {
+      if ((stale & kSlotMask) == (handle & kSlotMask)) {
+        ++recycled;
+        EXPECT_NE(stale, handle) << "generation not bumped on reuse";
+      }
+    }
+  });
+  ASSERT_GT(recycled, 0u) << "no slot was recycled; the guard went untested";
+  // Stale handles still miss even though their slots are live again.
+  for (const std::uint64_t handle : old_handles) {
+    EXPECT_EQ(h.system.find_peer(handle), nullptr);
+  }
+}
+
+TEST(StreamingSystem, EvictionOrderIsAscendingPeerId) {
+  // channel_peer_handles() is the snapshot evict_channel (and the
+  // rarest-first rebalance) iterates, so its order decides the float
+  // summation and departure order. Pin it: ascending monotone peer id,
+  // and exactly the channel's live membership — never slab or hash order.
+  expr::ExperimentConfig cfg =
+      expr::ExperimentConfig::make_default(core::StreamingMode::kClientServer);
+  cfg.workload.num_channels = 2;
+  cfg.workload.total_arrival_rate = 0.05;
+  cfg.workload.diurnal = workload::DiurnalPattern::flat();
+  cfg.seed = 7;
+
+  StreamingOptions options;
+  options.mode = core::StreamingMode::kClientServer;
+  options.bootstrap_plan = false;
+
+  SystemHarness h(cfg, options,
+                  model_policy(cfg, core::StreamingMode::kClientServer));
+  h.system.start();
+  // Churn the slab first so slot order and id order disagree: fill, evict
+  // (frees slots in id order, so the LIFO free list hands them back
+  // *reversed*), then refill.
+  h.sim.run_until(1800.0);
+  for (int c = 0; c < cfg.workload.num_channels; ++c) h.system.evict_channel(c);
+  h.sim.run_until(5400.0);
+  ASSERT_GT(h.system.current_users(), 0u);
+
+  for (int c = 0; c < cfg.workload.num_channels; ++c) {
+    const std::vector<std::uint64_t> handles = h.system.channel_peer_handles(c);
+    EXPECT_EQ(handles.size(), h.system.channel_users(c));
+    std::uint64_t last_id = 0;
+    for (const std::uint64_t handle : handles) {
+      const Peer* peer = h.system.find_peer(handle);
+      ASSERT_NE(peer, nullptr);
+      EXPECT_EQ(peer->channel, c);
+      EXPECT_GT(peer->id, last_id) << "membership not ascending by id";
+      last_id = peer->id;
     }
   }
 }

@@ -75,6 +75,8 @@
 // complete: <out>.jsonl + <out>.stream.csv appear in completion order
 // while the run is still going (and survive an interrupted sweep).
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -342,7 +344,11 @@ int main(int argc, char** argv) {
   store::ResultsStore results_store(store_options, spec);
   sweep::SweepSpec streaming = spec;
   streaming.sink = results_store.sink();
+  const auto t0 = std::chrono::steady_clock::now();
   (void)sweep::SweepRunner::run(streaming);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   const sweep::SweepResult result = results_store.finalize();
 
   std::printf("\n%-32s %12s %8s %9s %9s %9s %8s\n", "point", "seed", "quality",
@@ -355,6 +361,20 @@ int main(int argc, char** argv) {
                 run.mean_reserved_mbps, run.mean_used_cloud_mbps,
                 run.mean_used_peer_mbps, run.cost_per_hour);
   }
+
+  // Aggregate engine throughput across every cell of the sweep — the
+  // sibling of bench_discrete_smoke's single-run figure, measured on
+  // whatever grid the user actually ran.
+  std::uint64_t total_events = 0;
+  for (const sweep::RunSummary& run : result.runs) {
+    total_events += run.sim_events;
+  }
+  std::printf("\n%zu runs, %llu sim events in %.2f s wall (%.3g events/s "
+              "aggregate, %u threads)\n",
+              result.runs.size(),
+              static_cast<unsigned long long>(total_events), wall,
+              wall > 0.0 ? static_cast<double>(total_events) / wall : 0.0,
+              threads);
 
   result.write(out);
   std::printf("\n[csv]    %s.csv\n[json]   %s.json\n[jsonl]  %s (streamed)\n",
